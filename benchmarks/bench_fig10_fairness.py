@@ -1,0 +1,38 @@
+"""Benchmark: Figure 10 — the fairness knob epsilon."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig10_fairness
+
+
+def test_bench_fig10(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig10_fairness(
+            epsilons=(0.0, 0.05, 0.10, 0.20, 0.30),
+            num_jobs=130,
+            total_slots=400,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 10: epsilon sensitivity (paper: gains rise for small eps and "
+        "flatten after ~15%; at eps=10% fewer than ~4-5% of jobs slow "
+        "down, mildly)",
+        ("epsilon", "gain vs SRPT %", "% slowed", "avg slowdown %",
+         "worst slowdown %"),
+        [
+            (r.epsilon, r.gain_vs_srpt, 100 * r.fraction_slowed,
+             r.mean_slowdown, r.worst_slowdown)
+            for r in rows
+        ],
+    )
+    by_eps = {r.epsilon: r for r in rows}
+    # Hopper beats the baseline at every epsilon, including under strict
+    # fairness floors (eps=0) — coordination, not unfairness, drives the
+    # gains. NOTE: per-job slowdown columns are noisy at this trace size
+    # because changing eps perturbs every downstream scheduling decision;
+    # see EXPERIMENTS.md for the caveat vs the paper's <4% claim.
+    assert all(r.gain_vs_srpt > 0.0 for r in rows)
+    assert by_eps[0.30].gain_vs_srpt >= by_eps[0.0].gain_vs_srpt - 10.0
+    assert by_eps[0.10].fraction_slowed <= 0.6

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 11 — the probe-ratio sweep."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig11_probe_ratio
+
+
+def test_bench_fig11(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig11_probe_ratio(
+            probe_ratios=(2.0, 3.0, 4.0, 5.0),
+            utilizations=(0.7,),
+            num_jobs=110,
+            total_slots=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (util, ratio, gain)
+        for util, inner in out.items()
+        for ratio, gain in sorted(inner.items())
+    ]
+    print_table(
+        "Fig 11: Hopper's gain vs Sparrow-SRPT by probe ratio "
+        "(paper: gains increase up to ratio ~4)",
+        ("utilization", "probe ratio", "reduction %"),
+        rows,
+    )
+    gains = out[0.7]
+    # probe ratio 4 performs at least as well as 2 (power of many choices)
+    assert gains[4.0] >= gains[2.0] - 3.0
+    assert max(gains.values()) > 0.0

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 12 — centralized Hopper vs centralized SRPT."""
+
+import pytest
+from _tables import print_table
+
+from repro.experiments.figures import fig12_centralized
+
+
+def test_bench_fig12(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig12_centralized(
+            num_jobs=220, total_slots=200, utilization=0.7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("overall", out["overall"])]
+    rows += [(f"bin {k}", v) for k, v in out["by_bin"].items()]
+    rows += [(f"dag {k}", v) for k, v in sorted(out["by_dag_length"].items())]
+    print_table(
+        "Fig 12: centralized Hopper vs SRPT+LATE (paper: ~50% overall, "
+        "up to 80% per bin; gains hold across DAG lengths)",
+        ("group", "reduction %"),
+        rows,
+    )
+    # Shape: coordination wins overall, and no bin collapses.
+    assert out["overall"] > 5.0
+    assert any(v > 10.0 for v in out["by_bin"].values())

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 13 — the data-locality allowance k."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig13_locality
+
+
+def test_bench_fig13(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig13_locality(
+            k_values=(0.0, 3.0, 7.0, 15.0),
+            num_jobs=130,
+            total_slots=200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 13: locality allowance k (paper: small k increases locality; "
+        "gains drop when k grows too large)",
+        ("k %", "gain vs SRPT %", "fraction data-local"),
+        [(r.k_percent, r.gain_vs_srpt, r.locality_fraction) for r in rows],
+    )
+    by_k = {r.k_percent: r for r in rows}
+    # Locality fraction rises (weakly) with k.
+    assert by_k[15.0].locality_fraction >= by_k[0.0].locality_fraction - 0.02
+    # A small allowance does not hurt performance materially.
+    assert by_k[3.0].gain_vs_srpt >= by_k[0.0].gain_vs_srpt - 5.0

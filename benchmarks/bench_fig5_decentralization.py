@@ -1,0 +1,56 @@
+"""Benchmark: Figure 5a/5b — the power of many choices and refusals."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig5a_probe_count, fig5b_refusal_count
+
+
+def test_bench_fig5a_probe_count(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5a_probe_count(
+            probe_ratios=(2.0, 4.0, 6.0, 8.0),
+            utilizations=(0.7,),
+            num_jobs=100,
+            total_slots=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 5a: ratio vs centralized Hopper by probe count "
+        "(paper: Hopper within ~15% at d>=4; Sparrow >100% off)",
+        ("system", "probes d", "util", "ratio vs centralized"),
+        [(r.system, r.parameter, r.utilization, r.ratio) for r in rows],
+    )
+    hopper = {r.parameter: r.ratio for r in rows if r.system == "hopper"}
+    sparrow = [r.ratio for r in rows if r.system == "sparrow"]
+    # More probes help (d=4 no worse than d=2, small tolerance).
+    assert hopper[4.0] <= hopper[2.0] * 1.10
+    # Decentralized Hopper at d>=4 lands within ~60% of centralized.
+    assert hopper[4.0] <= 1.6
+    # Sparrow (no coordination) is further from centralized than Hopper d=4.
+    assert sparrow[0] >= hopper[4.0] * 0.95
+
+
+def test_bench_fig5b_refusal_count(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5b_refusal_count(
+            refusal_counts=(0, 1, 2, 3),
+            utilizations=(0.7,),
+            num_jobs=100,
+            total_slots=300,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 5b: ratio vs centralized Hopper by refusal threshold "
+        "(paper: 2-3 refusals within 10-15% of centralized)",
+        ("refusals", "util", "ratio vs centralized"),
+        [(int(r.parameter), r.utilization, r.ratio) for r in rows],
+    )
+    by_refusals = {int(r.parameter): r.ratio for r in rows}
+    # A couple of refusals should not hurt relative to none, and the
+    # 2-3 refusal operating point is close to the best observed.
+    best = min(by_refusals.values())
+    assert min(by_refusals[2], by_refusals[3]) <= best * 1.15

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 7 — gains by job-size bin."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig7_job_bins
+
+
+def test_bench_fig7(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig7_job_bins(num_jobs=180, total_slots=400),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 7: reduction (%) by job size bin vs Sparrow-SRPT "
+        "(paper: small jobs 18-32%, large jobs >50%)",
+        ("bin (tasks)", "reduction %"),
+        list(out.items()),
+    )
+    assert out["overall"] > 0.0
+    # Large jobs benefit at least as much as the overall population
+    # (the baseline already favours small jobs).
+    bins = {k: v for k, v in out.items() if k != "overall"}
+    if len(bins) >= 2:
+        labels = list(bins)
+        assert bins[labels[-1]] >= min(bins.values())

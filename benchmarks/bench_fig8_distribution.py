@@ -1,0 +1,44 @@
+"""Benchmark: Figure 8a (CDF of gains) and 8b (gains vs DAG length)."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig8a_gain_cdf, fig8b_dag_length
+
+
+def test_bench_fig8a_cdf(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig8a_gain_cdf(num_jobs=180, total_slots=400),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 8a: per-job gain distribution vs Sparrow-SRPT "
+        "(paper: median above average, >70% at high percentiles, "
+        "10th pct 10-15%)",
+        ("percentile", "gain %"),
+        [("p10", out["p10"]), ("p50", out["p50"]), ("p90", out["p90"]),
+         ("mean", out["mean"])],
+    )
+    # Distribution is ordered and most jobs benefit.
+    assert out["p10"] <= out["p50"] <= out["p90"]
+    assert out["p90"] > 0.0
+    assert out["mean"] > 0.0
+
+
+def test_bench_fig8b_dag_length(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig8b_dag_length(num_jobs=180, total_slots=400),
+        rounds=1,
+        iterations=1,
+    )
+    rows = sorted(out.items())
+    print_table(
+        "Fig 8b: reduction (%) by DAG length (paper: gains hold across "
+        "lengths)",
+        ("DAG length", "reduction %"),
+        rows,
+    )
+    assert rows, "no DAG-length groups produced"
+    # Gains hold across DAG lengths: the majority of groups improve.
+    improving = sum(1 for _, v in rows if v > -2.0)
+    assert improving >= max(1, int(0.6 * len(rows)))

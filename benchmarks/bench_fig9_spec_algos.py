@@ -1,0 +1,31 @@
+"""Benchmark: Figure 9 — gains are independent of the straggler
+mitigation algorithm (LATE / Mantri / GRASS)."""
+
+from _tables import print_table
+
+from repro.experiments.figures import fig9_speculation_algorithms
+
+
+def test_bench_fig9(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig9_speculation_algorithms(
+            num_jobs=130, total_slots=400
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for algo, bins in out.items():
+        rows.append((algo, bins["overall"]))
+    print_table(
+        "Fig 9: overall reduction (%) per speculation algorithm "
+        "(paper: similar gains across LATE, Mantri, GRASS)",
+        ("algorithm", "overall reduction %"),
+        rows,
+    )
+    overalls = [bins["overall"] for bins in out.values()]
+    # Hopper helps under every speculation algorithm...
+    assert all(v > -2.0 for v in overalls)
+    assert max(overalls) > 5.0
+    # ...and the gains are of the same order across algorithms.
+    assert max(overalls) - min(overalls) < 35.0

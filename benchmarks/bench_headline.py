@@ -1,0 +1,26 @@
+"""Benchmark: the paper's §1/§7 headline gains."""
+
+from _tables import print_table
+
+from repro.experiments.figures import headline_gains
+
+
+def test_bench_headline(benchmark):
+    out = benchmark.pedantic(
+        lambda: headline_gains(num_jobs=150, total_slots=400),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Headline gains (paper: decentralized up to 66%, centralized up "
+        "to 50%)",
+        ("comparison", "reduction %"),
+        [
+            ("decentralized Hopper vs Sparrow-SRPT",
+             out["decentralized_vs_sparrow_srpt"]),
+            ("centralized Hopper vs SRPT", out["centralized_vs_srpt"]),
+        ],
+    )
+    # Shape: Hopper wins in both deployments.
+    assert out["decentralized_vs_sparrow_srpt"] > 5.0
+    assert out["centralized_vs_srpt"] > 5.0

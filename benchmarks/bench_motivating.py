@@ -1,0 +1,30 @@
+"""Benchmark: §3 motivating example (Figures 1a, 1b, 2; Table 1)."""
+
+from _tables import print_table
+
+from repro.experiments.motivating import run_motivating_example
+
+
+def test_bench_motivating_example(benchmark):
+    results = benchmark.pedantic(
+        run_motivating_example, rounds=3, iterations=1
+    )
+    by_name = {r.strategy: r for r in results}
+    print_table(
+        "Fig 1-2 / Table 1: strawmen vs Hopper (paper: 20/30, 12/32, 12/22)",
+        ("strategy", "job A", "job B", "average"),
+        [
+            (r.strategy, r.completion_a, r.completion_b, r.average)
+            for r in results
+        ],
+    )
+    # Exact reproduction of the example's arithmetic.
+    assert (by_name["best_effort"].completion_a,
+            by_name["best_effort"].completion_b) == (20.0, 30.0)
+    assert (by_name["budgeted"].completion_a,
+            by_name["budgeted"].completion_b) == (12.0, 32.0)
+    assert (by_name["hopper"].completion_a,
+            by_name["hopper"].completion_b) == (12.0, 22.0)
+    assert by_name["hopper"].average < min(
+        by_name["best_effort"].average, by_name["budgeted"].average
+    )

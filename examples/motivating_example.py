@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""The paper's §3 motivating example (Figures 1-2, Table 1).
+
+Two jobs, seven slots: job A (4 tasks, one straggler) and job B (5 tasks,
+one straggler). Reproduces the completion times of best-effort
+speculation (Fig. 1a), budgeted speculation (Fig. 1b) and coordinated
+Hopper scheduling (Fig. 2) exactly.
+
+Run:  python examples/motivating_example.py
+"""
+
+from repro.experiments.motivating import run_motivating_example
+
+
+def main() -> None:
+    print("Paper §3: two jobs (A: 4 tasks, B: 5 tasks) on 7 slots\n")
+    print(f"{'strategy':<14}{'job A':>8}{'job B':>8}{'average':>10}")
+    for result in run_motivating_example():
+        print(
+            f"{result.strategy:<14}"
+            f"{result.completion_a:>8.0f}"
+            f"{result.completion_b:>8.0f}"
+            f"{result.average:>10.1f}"
+        )
+    print(
+        "\nPaper values — best-effort: A=20, B=30; budgeted: A=12, B=32;\n"
+        "Hopper (Fig. 2): A=12, B=22. Coordination dominates both strawmen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of *Hopper: Decentralized Speculation-aware
+Cluster Scheduling at Scale* (Ren et al., SIGCOMM 2015).
+
+Public API highlights
+---------------------
+* :mod:`repro.core` — virtual job sizes and the Hopper allocation rules.
+* :mod:`repro.centralized` — centralized simulator with Fair/SRPT/Hopper.
+* :mod:`repro.decentralized` — Sparrow-style decentralized simulator with
+  Sparrow, Sparrow-SRPT and decentralized Hopper.
+* :mod:`repro.speculation` — LATE, Mantri and GRASS.
+* :mod:`repro.workload` — synthetic Facebook/Bing-like trace generators.
+* :mod:`repro.experiments` — one entry point per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    JobAllocationState,
+    fair_allocation,
+    hopper_allocation,
+    srpt_allocation,
+    threshold_multiplier,
+    virtual_size,
+)
+
+__all__ = [
+    "JobAllocationState",
+    "hopper_allocation",
+    "srpt_allocation",
+    "fair_allocation",
+    "virtual_size",
+    "threshold_multiplier",
+    "__version__",
+]

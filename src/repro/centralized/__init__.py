@@ -1,0 +1,27 @@
+"""Centralized scheduling: Fair, SRPT and Hopper policies on one master.
+
+This mirrors the paper's Hadoop-YARN / Spark prototypes (§6.2): a central
+resource manager assigns slots to jobs; per-job speculation algorithms
+(LATE/Mantri/GRASS) propose duplicate copies; the policy decides who gets
+slots. Baselines implement the §3 strawmen: best-effort and budgeted
+speculation.
+"""
+
+from repro.centralized.policies import (
+    CentralizedPolicy,
+    FairPolicy,
+    HopperPolicy,
+    SRPTPolicy,
+)
+from repro.centralized.config import CentralizedConfig, SpeculationMode
+from repro.centralized.simulator import CentralizedSimulator
+
+__all__ = [
+    "CentralizedPolicy",
+    "FairPolicy",
+    "SRPTPolicy",
+    "HopperPolicy",
+    "CentralizedConfig",
+    "SpeculationMode",
+    "CentralizedSimulator",
+]

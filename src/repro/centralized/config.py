@@ -1,0 +1,90 @@
+"""Configuration for the centralized simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SpeculationMode(enum.Enum):
+    """How speculative copies compete for slots (§3).
+
+    INTEGRATED:
+        Hopper's coordination — speculation shares the job's allocation,
+        which already budgets for it via virtual sizes.
+    BEST_EFFORT:
+        Speculative copies run only on slots left over after every job's
+        original tasks are served (the common practice today).
+    BUDGETED:
+        A fixed pool of slots is reserved exclusively for speculative
+        copies; original tasks may not use it even when it sits idle.
+    """
+
+    INTEGRATED = "integrated"
+    BEST_EFFORT = "best_effort"
+    BUDGETED = "budgeted"
+
+
+@dataclass
+class CentralizedConfig:
+    """Tunables for :class:`CentralizedSimulator`.
+
+    Attributes
+    ----------
+    epsilon:
+        Fairness knob for Hopper (§4.3); 1.0 disables fairness floors.
+    locality_k_percent:
+        Locality relaxation window (§4.4), in percent of active jobs.
+    speculation_mode:
+        See :class:`SpeculationMode`.
+    budget_fraction:
+        Fraction of slots reserved when mode is BUDGETED.
+    speculation_check_interval:
+        Sim-time between periodic straggler scans.
+    network_rate:
+        Data units transferred per time unit (feeds alpha).
+    learn_beta:
+        Fit beta online from completed tasks; otherwise use default_beta.
+    default_beta:
+        Prior tail index before enough samples accumulate.
+    use_alpha:
+        Weight virtual sizes by sqrt(alpha) for DAG jobs.
+    preempt_speculative:
+        In INTEGRATED mode, kill a job's youngest speculative copies when
+        it runs above its target so the slots can be reallocated
+        (originals are never preempted).
+    max_copies_cap:
+        Upper bound, in copies per remaining task, on how many slots a
+        job can usefully hold (feeds JobAllocationState.max_useful_slots).
+        2 matches production frameworks; the Fig. 3 threshold study
+        raises it so extra slots can actually buy more speculation.
+    """
+
+    epsilon: float = 0.1
+    locality_k_percent: float = 3.0
+    speculation_mode: SpeculationMode = SpeculationMode.INTEGRATED
+    budget_fraction: float = 0.15
+    speculation_check_interval: float = 1.0
+    spec_eval_min_interval: float = 0.25
+    network_rate: float = 1.0
+    learn_beta: bool = True
+    default_beta: float = 1.5
+    use_alpha: bool = True
+    preempt_speculative: bool = True
+    max_copies_cap: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if not 0.0 <= self.locality_k_percent <= 100.0:
+            raise ValueError("locality_k_percent must be in [0, 100]")
+        if not 0.0 <= self.budget_fraction < 1.0:
+            raise ValueError("budget_fraction must be in [0, 1)")
+        if self.speculation_check_interval <= 0:
+            raise ValueError("speculation_check_interval must be positive")
+        if self.spec_eval_min_interval < 0:
+            raise ValueError("spec_eval_min_interval must be non-negative")
+        if self.network_rate <= 0:
+            raise ValueError("network_rate must be positive")
+        if self.default_beta <= 0:
+            raise ValueError("default_beta must be positive")

@@ -1,0 +1,111 @@
+"""Centralized allocation policies: Fair, SRPT, and Hopper.
+
+A policy maps job states to integer slot targets and defines the order in
+which slot deficits are filled. The heavy lifting lives in
+:mod:`repro.core.allocation`; policies are thin, named adapters around it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+from repro.core.allocation import (
+    JobAllocationState,
+    fair_allocation,
+    hopper_allocation,
+    srpt_allocation,
+)
+
+
+class CentralizedPolicy(ABC):
+    """Interface for centralized slot-allocation policies."""
+
+    name: str = "base"
+
+    #: Hopper uses learned virtual sizes; baselines ignore them.
+    uses_virtual_sizes: bool = False
+
+    @abstractmethod
+    def allocate(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Dict[int, int]:
+        """Target slots per job id, summing to at most ``total_slots``."""
+
+    def dispatch_order(
+        self, states: Sequence[JobAllocationState]
+    ) -> List[JobAllocationState]:
+        """Order in which deficits are filled when slots free up."""
+        return sorted(states, key=lambda s: (s.order_key, s.job_id))
+
+
+class FairPolicy(CentralizedPolicy):
+    """Weighted max-min fair sharing — the deployed default (§2.1)."""
+
+    name = "fair"
+
+    def allocate(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Dict[int, int]:
+        return fair_allocation(states, total_slots)
+
+    def dispatch_order(
+        self, states: Sequence[JobAllocationState]
+    ) -> List[JobAllocationState]:
+        # Serve jobs round-robin-ish: fewest remaining first keeps parity.
+        return sorted(states, key=lambda s: (s.remaining_tasks, s.job_id))
+
+
+class SRPTPolicy(CentralizedPolicy):
+    """Shortest Remaining Processing Time — the performance baseline the
+    paper compares centralized Hopper against (§7.4)."""
+
+    name = "srpt"
+
+    def __init__(self, best_effort_speculation: bool = True) -> None:
+        self.best_effort_speculation = best_effort_speculation
+
+    def allocate(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Dict[int, int]:
+        return srpt_allocation(
+            states,
+            total_slots,
+            best_effort_speculation=self.best_effort_speculation,
+        )
+
+    def dispatch_order(
+        self, states: Sequence[JobAllocationState]
+    ) -> List[JobAllocationState]:
+        return sorted(states, key=lambda s: (s.remaining_tasks, s.job_id))
+
+
+class HopperPolicy(CentralizedPolicy):
+    """Speculation-aware allocation (Pseudocode 1) with ε-fairness.
+
+    ``force_regime`` is an ablation hook: "constrained" always applies
+    Guideline 2, "rich" always Guideline 3 (see DESIGN.md ablations).
+    """
+
+    name = "hopper"
+    uses_virtual_sizes = True
+
+    def __init__(
+        self, epsilon: float = 0.1, force_regime: str = None
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.force_regime = force_regime
+        if force_regime is not None:
+            self.name = f"hopper-{force_regime}"
+
+    def allocate(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Dict[int, int]:
+        return hopper_allocation(
+            states,
+            total_slots,
+            epsilon=self.epsilon,
+            force_regime=self.force_regime,
+        )

@@ -1,0 +1,564 @@
+"""Event-driven centralized cluster simulator.
+
+Replays a trace through a central scheduler: on every job arrival, task
+completion, or periodic straggler scan, the policy recomputes slot targets
+and the dispatcher fills deficits — original tasks first, then speculative
+copies proposed by the job's speculation algorithm. When any copy of a
+task finishes, its sibling copies are killed and their slot-time is
+accounted as speculation waste.
+
+The simulator owns all runtime state; jobs/tasks keep only the minimal
+flags needed for replay (`reset_runtime_state`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.centralized.config import CentralizedConfig, SpeculationMode
+from repro.centralized.policies import CentralizedPolicy
+from repro.cluster.cluster import Cluster
+from repro.cluster.datastore import DataStore
+from repro.core.allocation import JobAllocationState
+from repro.core.locality import pick_job_with_locality
+from repro.core.virtual_size import virtual_size
+from repro.estimation.alpha import AlphaEstimator
+from repro.estimation.beta import OnlineBetaEstimator
+from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.simulation.engine import EventHandle, Simulator
+from repro.simulation.rng import RandomSource
+from repro.speculation.base import JobExecutionView, SpeculationPolicy
+from repro.stragglers.model import StragglerModel
+from repro.stragglers.progress import TaskCopy
+from repro.workload.job import Job
+from repro.workload.task import Task, TaskState
+from repro.workload.traces import Trace
+
+
+class _JobRuntime:
+    """Mutable per-job execution state owned by the simulator."""
+
+    __slots__ = (
+        "job",
+        "view",
+        "pending",
+        "pending_ids",
+        "activated_phases",
+        "running_copies",
+        "running_speculative",
+        "spec_dirty",
+        "spec_cache_time",
+        "spec_candidates",
+    )
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.view = JobExecutionView(job=job)
+        self.pending: Deque[Task] = deque()
+        self.pending_ids: Set[int] = set()
+        self.activated_phases: Set[int] = set()
+        self.running_copies = 0
+        self.running_speculative = 0
+        # Throttled speculation-candidate cache.
+        self.spec_dirty = True
+        self.spec_cache_time = -float("inf")
+        self.spec_candidates: list = []
+
+    def activate_runnable_phases(self) -> None:
+        """Move tasks of newly-runnable phases into the pending queue."""
+        for phase in self.job.phases:
+            if phase.index in self.activated_phases:
+                continue
+            if self.job.phase_is_runnable(phase):
+                self.activated_phases.add(phase.index)
+                for task in phase.tasks:
+                    if not task.is_finished:
+                        self.pending.append(task)
+                        self.pending_ids.add(task.task_id)
+
+    def pop_pending(self, prefer_machine: Optional[int]) -> Optional[Task]:
+        """Take the next pending task, preferring one local to
+        ``prefer_machine`` (bounded scan)."""
+        while self.pending and self.pending[0].is_finished:
+            dropped = self.pending.popleft()
+            self.pending_ids.discard(dropped.task_id)
+        if not self.pending:
+            return None
+        if prefer_machine is not None:
+            scan_limit = min(len(self.pending), 64)
+            for i in range(scan_limit):
+                task = self.pending[i]
+                if not task.is_finished and task.prefers(prefer_machine):
+                    del self.pending[i]
+                    self.pending_ids.discard(task.task_id)
+                    return task
+        task = self.pending.popleft()
+        self.pending_ids.discard(task.task_id)
+        return task
+
+    def has_pending_local_to(self, machine_id: int) -> bool:
+        scan_limit = min(len(self.pending), 64)
+        for i in range(scan_limit):
+            task = self.pending[i]
+            if not task.is_finished and task.prefers(machine_id):
+                return True
+        return False
+
+
+class CentralizedSimulator:
+    """Simulates a trace under one centralized policy.
+
+    Parameters
+    ----------
+    cluster:
+        Machines and slots.
+    policy:
+        Allocation policy (Fair / SRPT / Hopper).
+    speculation:
+        Factory returning a (possibly shared) speculation policy; called
+        once per job so stateful policies stay per-job.
+    trace:
+        Jobs to replay (runtime state must be fresh).
+    straggler_model:
+        Slowdown generator.
+    config:
+        Knobs; see :class:`CentralizedConfig`.
+    datastore:
+        Optional block placement for locality modelling.
+    random_source:
+        Seed hierarchy.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: CentralizedPolicy,
+        speculation: Callable[[], SpeculationPolicy],
+        trace: Trace,
+        straggler_model: StragglerModel,
+        config: Optional[CentralizedConfig] = None,
+        datastore: Optional[DataStore] = None,
+        random_source: Optional[RandomSource] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self.speculation_factory = speculation
+        self.trace = trace
+        self.straggler_model = straggler_model
+        self.config = config or CentralizedConfig()
+        self.datastore = datastore
+        self.random_source = random_source or RandomSource(seed=0)
+
+        self.sim = Simulator()
+        self.metrics = MetricsCollector(scheduler_name=policy.name)
+        self.beta_estimator = OnlineBetaEstimator(
+            default_beta=self.config.default_beta
+        )
+        self.alpha_estimator = AlphaEstimator(
+            network_rate=self.config.network_rate
+        )
+
+        self._rng = self.random_source.child("centralized").rng
+        self._jobs: Dict[int, _JobRuntime] = {}
+        self._spec_policies: Dict[int, SpeculationPolicy] = {}
+        self._copy_events: Dict[int, EventHandle] = {}
+        self._next_copy_id = 0
+        self._spec_check_scheduled = False
+        self._jobs_completed = 0
+
+        self._total_slots = cluster.total_slots
+        self._spec_budget = 0
+        if self.config.speculation_mode is SpeculationMode.BUDGETED:
+            self._spec_budget = int(
+                self.config.budget_fraction * self._total_slots
+            )
+        self._running_spec_copies = 0
+        self._running_original_copies = 0
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Replay the whole trace; returns the metrics."""
+        self.cluster.reset()
+        for job in self.trace:
+            self.sim.schedule_at(job.arrival_time, self._on_job_arrival, job)
+        self.sim.run(until=until)
+        return self.metrics.result
+
+    # -------------------------------------------------------------- helpers --
+
+    def _beta(self) -> float:
+        if self.config.learn_beta:
+            return self.beta_estimator.beta
+        return self.config.default_beta
+
+    def _job_alpha(self, job: Job) -> float:
+        if not self.config.use_alpha or job.num_phases == 1:
+            return 1.0
+        return self.alpha_estimator.predict_alpha(job)
+
+    def _allocation_states(self) -> List[JobAllocationState]:
+        beta = self._beta()
+        states: List[JobAllocationState] = []
+        for jr in self._jobs.values():
+            remaining = jr.job.remaining_tasks()
+            if remaining <= 0:
+                continue
+            alpha = self._job_alpha(jr.job)
+            vsize = virtual_size(remaining, beta, alpha)
+            priority = vsize
+            if self.policy.uses_virtual_sizes and jr.job.num_phases > 1:
+                downstream_tasks = jr.job.downstream_virtual_tasks(
+                    self.config.network_rate
+                )
+                if downstream_tasks > 0:
+                    priority = max(vsize, virtual_size(downstream_tasks, beta))
+            max_useful = max(
+                int(math.ceil(vsize)),
+                self.config.max_copies_cap * remaining,
+            )
+            states.append(
+                JobAllocationState(
+                    job_id=jr.job.job_id,
+                    virtual_size=vsize,
+                    remaining_tasks=remaining,
+                    weight=jr.job.weight,
+                    priority_size=priority,
+                    max_useful_slots=max_useful,
+                )
+            )
+        return states
+
+    def _pick_machine(self, task: Task) -> Optional[int]:
+        """Free machine for a copy: local replica holder if possible."""
+        for machine_id in task.preferred_machines:
+            machine = self.cluster.machine(machine_id)
+            if machine.has_free_slot:
+                return machine_id
+        free = self.cluster.machines_with_free_slots()
+        if not free:
+            return None
+        return self._rng.choice(free).machine_id
+
+    # ------------------------------------------------------------- events ----
+
+    def _on_job_arrival(self, job: Job) -> None:
+        if self.datastore is not None:
+            self.datastore.place_job_inputs(job)
+        jr = _JobRuntime(job)
+        jr.activate_runnable_phases()
+        self._jobs[job.job_id] = jr
+        self._spec_policies[job.job_id] = self.speculation_factory()
+        self._reschedule()
+        self._ensure_spec_check()
+
+    def _ensure_spec_check(self) -> None:
+        if self._spec_check_scheduled or not self._jobs:
+            return
+        self._spec_check_scheduled = True
+        self.sim.schedule(
+            self.config.speculation_check_interval, self._on_spec_check
+        )
+
+    def _on_spec_check(self) -> None:
+        self._spec_check_scheduled = False
+        if not self._jobs:
+            return
+        self._reschedule(evaluate_speculation=True)
+        self._ensure_spec_check()
+
+    def _launch_copy(self, jr: _JobRuntime, task: Task, speculative: bool) -> bool:
+        machine_id = self._pick_machine(task)
+        if machine_id is None:
+            return False
+        attempt = jr.view.attempts(task)
+        slowdown = self.straggler_model.slowdown(
+            self._rng, task, machine_id, attempt
+        )
+        local = True
+        penalty = 1.0
+        if self.datastore is not None:
+            local = self.datastore.is_local(task, machine_id)
+            penalty = self.datastore.duration_multiplier(task, machine_id)
+        duration = task.size * slowdown * penalty
+        copy = TaskCopy(
+            copy_id=self._next_copy_id,
+            task=task,
+            machine_id=machine_id,
+            start_time=self.sim.now,
+            duration=duration,
+            speculative=speculative,
+        )
+        self._next_copy_id += 1
+        jr.view.register_copy(copy)
+        jr.spec_dirty = True
+        jr.running_copies += 1
+        if speculative:
+            jr.running_speculative += 1
+            self._running_spec_copies += 1
+        else:
+            self._running_original_copies += 1
+        task.state = TaskState.RUNNING
+        self.cluster.acquire_slot(machine_id)
+        handle = self.sim.schedule(duration, self._on_copy_finish, copy, jr)
+        self._copy_events[copy.copy_id] = handle
+        self.metrics.record_copy_launch(speculative=speculative, local=local)
+        return True
+
+    def _kill_copy(self, copy: TaskCopy, jr: _JobRuntime) -> None:
+        handle = self._copy_events.pop(copy.copy_id, None)
+        if handle is not None:
+            handle.cancel()
+        copy.killed = True
+        copy.end_time = self.sim.now
+        self.cluster.release_slot(copy.machine_id)
+        jr.view.remove_copy(copy)
+        jr.spec_dirty = True
+        jr.running_copies -= 1
+        if copy.speculative:
+            jr.running_speculative -= 1
+            self._running_spec_copies -= 1
+        else:
+            self._running_original_copies -= 1
+        self.metrics.record_copy_killed(copy.resource_time(self.sim.now))
+
+    def _on_copy_finish(self, copy: TaskCopy, jr: _JobRuntime) -> None:
+        self._copy_events.pop(copy.copy_id, None)
+        copy.finished = True
+        copy.end_time = self.sim.now
+        self.cluster.release_slot(copy.machine_id)
+        jr.view.remove_copy(copy)
+        jr.spec_dirty = True
+        jr.running_copies -= 1
+        if copy.speculative:
+            jr.running_speculative -= 1
+            self._running_spec_copies -= 1
+        else:
+            self._running_original_copies -= 1
+        task = copy.task
+        self.metrics.record_copy_finished(
+            copy.duration,
+            speculative_win=copy.speculative and not task.is_finished,
+        )
+
+        if not task.is_finished:
+            task.state = TaskState.FINISHED
+            task.finish_time = self.sim.now
+            task.completed_by_speculative = copy.speculative
+            jr.job.phase(task.phase_index).mark_task_finished(task.size)
+            jr.view.completed_durations.append(copy.duration)
+            self.beta_estimator.observe(copy.duration)
+            # Kill the losers of the race.
+            for other in list(jr.view.copies_by_task.get(task.task_id, ())):
+                if other.is_running:
+                    self._kill_copy(other, jr)
+            if task.task_id in jr.pending_ids:
+                # Never launched a copy? Then this finish is inconsistent.
+                jr.pending_ids.discard(task.task_id)
+            jr.activate_runnable_phases()
+            if jr.job.is_complete:
+                self._complete_job(jr)
+        self._reschedule()
+
+    def _complete_job(self, jr: _JobRuntime) -> None:
+        job = jr.job
+        job.finish_time = self.sim.now
+        self.metrics.record_job_completion(
+            job_id=job.job_id,
+            name=job.name,
+            num_tasks=job.num_tasks,
+            dag_length=job.dag_length,
+            arrival_time=job.arrival_time,
+            finish_time=self.sim.now,
+        )
+        self.alpha_estimator.observe_job(job)
+        del self._jobs[job.job_id]
+        del self._spec_policies[job.job_id]
+        self._jobs_completed += 1
+
+    # ----------------------------------------------------------- dispatch ----
+
+    def _reschedule(self, evaluate_speculation: bool = False) -> None:
+        """Recompute targets and dispatch.
+
+        Original copies are dispatched on every event; the speculation
+        sweep (which scans every running copy's progress) runs only from
+        the periodic straggler scan, mirroring how LATE/Mantri run as a
+        periodic monitor thread in real frameworks.
+        """
+        if not self._jobs:
+            return
+        states = self._allocation_states()
+        if not states:
+            return
+
+        mode = self.config.speculation_mode
+        if mode is SpeculationMode.BUDGETED:
+            original_slots = self._total_slots - self._spec_budget
+        else:
+            original_slots = self._total_slots
+
+        targets = self.policy.allocate(states, original_slots)
+        self.metrics.record_guideline_decision(
+            constrained=sum(s.virtual_size for s in states) > self._total_slots
+        )
+        order = self.policy.dispatch_order(states)
+
+        # Coordinated mode may reclaim slots from over-target speculative
+        # copies (killing a redundant copy loses no unique work) — this is
+        # the "dynamically reallocate the slots" step of Fig. 2.
+        if mode is SpeculationMode.INTEGRATED and self.config.preempt_speculative:
+            self._preempt_excess_speculation(targets)
+
+        if mode is SpeculationMode.INTEGRATED:
+            # Originals within targets, then speculation within targets
+            # (small jobs' speculation outranks big jobs' extra
+            # originals — the coordination the paper argues for), then
+            # work-conserving overflow.
+            self._dispatch_originals(order, targets)
+            self._dispatch_speculation(order, targets, pool_limit=None)
+            self._dispatch_originals(order, targets=None)
+        elif mode is SpeculationMode.BEST_EFFORT:
+            # All originals first; speculation gets only leftover slots.
+            self._dispatch_originals(order, targets)
+            self._dispatch_originals(order, targets=None)
+            self._dispatch_speculation(order, targets=None, pool_limit=None)
+        else:  # BUDGETED
+            # Originals may never enter the reserved pool, even when the
+            # pool idles — the §3 strawman's defining waste.
+            self._dispatch_originals(
+                order,
+                targets=None,
+                original_limit=self._total_slots - self._spec_budget,
+            )
+            self._dispatch_speculation(
+                order, targets=None, pool_limit=self._spec_budget
+            )
+
+    def _preempt_excess_speculation(self, targets: Dict[int, int]) -> None:
+        """Kill speculative copies of jobs running above their target.
+
+        Victims are the youngest speculative copies (least work lost).
+        Original copies are never preempted."""
+        now = self.sim.now
+        for job_id, jr in list(self._jobs.items()):
+            target = targets.get(job_id, 0)
+            excess = jr.running_copies - target
+            if excess <= 0 or jr.running_speculative <= 0:
+                continue
+            victims = [
+                c
+                for copies in jr.view.copies_by_task.values()
+                for c in copies
+                if c.speculative and len(copies) > 1
+            ]
+            victims.sort(key=lambda c: c.elapsed(now))
+            for victim in victims[: min(excess, len(victims))]:
+                self._kill_copy(victim, jr)
+
+    def _dispatch_originals(
+        self,
+        order: List[JobAllocationState],
+        targets: Optional[Dict[int, int]],
+        original_limit: Optional[int] = None,
+    ) -> None:
+        """Launch first copies of pending tasks.
+
+        With ``targets`` set, each job is bounded by its allocation; with
+        ``targets=None`` the pass is work-conserving (any pending task may
+        take a free slot). ``original_limit`` caps the total number of
+        running original copies (budgeted-speculation pool fencing).
+        """
+        k = self.config.locality_k_percent if self.policy.uses_virtual_sizes else 0.0
+        progress = True
+        while progress and self.cluster.free_slots > 0:
+            if (
+                original_limit is not None
+                and self._running_original_copies >= original_limit
+            ):
+                return
+            progress = False
+            deficient = [
+                s
+                for s in order
+                if s.job_id in self._jobs
+                and self._jobs[s.job_id].pending
+                and (
+                    targets is None
+                    or self._jobs[s.job_id].running_copies
+                    < targets.get(s.job_id, 0)
+                )
+            ]
+            if not deficient:
+                break
+            free_machines = self.cluster.machines_with_free_slots()
+            if not free_machines:
+                break
+            machine = free_machines[0]
+
+            def has_local(state: JobAllocationState) -> bool:
+                return self._jobs[state.job_id].has_pending_local_to(
+                    machine.machine_id
+                )
+
+            chosen = pick_job_with_locality(deficient, k, has_local)
+            if chosen is None:
+                break
+            jr = self._jobs[chosen.job_id]
+            task = jr.pop_pending(prefer_machine=machine.machine_id)
+            if task is None:
+                continue
+            if self._launch_copy(jr, task, speculative=False):
+                progress = True
+
+    def _job_speculation_candidates(self, jr: _JobRuntime) -> list:
+        """Throttled candidate evaluation: re-scan a job's progress only
+        when its copies changed or the throttle interval elapsed."""
+        now = self.sim.now
+        if (
+            jr.spec_dirty
+            or now - jr.spec_cache_time >= self.config.spec_eval_min_interval
+        ):
+            policy = self._spec_policies[jr.job.job_id]
+            jr.spec_candidates = policy.speculation_candidates(jr.view, now)
+            jr.spec_cache_time = now
+            jr.spec_dirty = False
+        return jr.spec_candidates
+
+    def _dispatch_speculation(
+        self,
+        order: List[JobAllocationState],
+        targets: Optional[Dict[int, int]],
+        pool_limit: Optional[int],
+    ) -> None:
+        for state in order:
+            jr = self._jobs.get(state.job_id)
+            if jr is None:
+                continue
+            if self.cluster.free_slots <= 0:
+                return
+            if pool_limit is not None and self._running_spec_copies >= pool_limit:
+                return
+            candidates = self._job_speculation_candidates(jr)
+            for request in candidates:
+                if self.cluster.free_slots <= 0:
+                    return
+                if (
+                    pool_limit is not None
+                    and self._running_spec_copies >= pool_limit
+                ):
+                    return
+                if targets is not None and jr.running_copies >= targets.get(
+                    state.job_id, 0
+                ):
+                    break
+                if request.task.is_finished:
+                    continue
+                max_copies = self._spec_policies[
+                    state.job_id
+                ].max_copies_per_task()
+                if len(jr.view.copies_of(request.task)) >= max_copies:
+                    continue  # stale cached candidate
+                self._launch_copy(jr, request.task, speculative=True)

@@ -1,0 +1,8 @@
+"""Cluster substrate: machines, slots, racks, data placement, blacklists."""
+
+from repro.cluster.machine import Machine
+from repro.cluster.cluster import Cluster
+from repro.cluster.datastore import DataStore
+from repro.cluster.blacklist import Blacklist
+
+__all__ = ["Machine", "Cluster", "DataStore", "Blacklist"]

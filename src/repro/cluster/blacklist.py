@@ -1,0 +1,50 @@
+"""Machine blacklisting (§2.2).
+
+Production clusters blacklist machines with faulty disks or memory and
+never schedule on them. Blacklisting alone does not remove stragglers —
+that is the paper's starting observation — but the mechanism still exists
+in the substrate, and the straggler model can be configured to make some
+machines persistently bad so that blacklisting them is meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class Blacklist:
+    """Tracks blacklisted machines, with optional strike-based policy."""
+
+    def __init__(self, strikes_to_blacklist: int = 3) -> None:
+        if strikes_to_blacklist <= 0:
+            raise ValueError("strikes_to_blacklist must be positive")
+        self.strikes_to_blacklist = strikes_to_blacklist
+        self._strikes: Dict[int, int] = {}
+        self._blacklisted: Set[int] = set()
+
+    @property
+    def blacklisted_machines(self) -> Set[int]:
+        return set(self._blacklisted)
+
+    def is_blacklisted(self, machine_id: int) -> bool:
+        return machine_id in self._blacklisted
+
+    def add(self, machine_id: int) -> None:
+        """Blacklist unconditionally."""
+        self._blacklisted.add(machine_id)
+
+    def remove(self, machine_id: int) -> None:
+        self._blacklisted.discard(machine_id)
+        self._strikes.pop(machine_id, None)
+
+    def record_strike(self, machine_id: int) -> bool:
+        """Record a fault observation; returns True if the machine just
+        crossed the blacklisting threshold."""
+        if machine_id in self._blacklisted:
+            return False
+        count = self._strikes.get(machine_id, 0) + 1
+        self._strikes[machine_id] = count
+        if count >= self.strikes_to_blacklist:
+            self._blacklisted.add(machine_id)
+            return True
+        return False

@@ -1,0 +1,96 @@
+"""The cluster: a collection of machines with aggregate slot accounting."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.cluster.blacklist import Blacklist
+from repro.cluster.machine import Machine
+
+
+class Cluster:
+    """A set of machines; tracks aggregate free/busy slots.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of machines (ignored if ``machines`` given).
+    slots_per_machine:
+        Slots on each machine.
+    machines_per_rack:
+        Rack assignment granularity (for locality experiments).
+    machines:
+        Pre-built machines, overriding the size parameters.
+    """
+
+    def __init__(
+        self,
+        num_machines: int = 0,
+        slots_per_machine: int = 1,
+        machines_per_rack: int = 20,
+        machines: Optional[Iterable[Machine]] = None,
+    ) -> None:
+        if machines is not None:
+            self.machines: List[Machine] = list(machines)
+        else:
+            if num_machines <= 0:
+                raise ValueError("num_machines must be positive")
+            self.machines = [
+                Machine(
+                    machine_id=i,
+                    num_slots=slots_per_machine,
+                    rack=i // machines_per_rack,
+                )
+                for i in range(num_machines)
+            ]
+        if not self.machines:
+            raise ValueError("cluster must contain at least one machine")
+        self.blacklist = Blacklist()
+        self._busy_count = 0
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_slots(self) -> int:
+        return sum(m.num_slots for m in self.machines if not m.blacklisted)
+
+    @property
+    def busy_slots(self) -> int:
+        return self._busy_count
+
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - self._busy_count
+
+    def acquire_slot(self, machine_id: int) -> None:
+        """Mark a slot busy on ``machine_id`` (O(1) aggregate tracking)."""
+        self.machines[machine_id].acquire_slot()
+        self._busy_count += 1
+
+    def release_slot(self, machine_id: int) -> None:
+        """Mark a slot free on ``machine_id``."""
+        self.machines[machine_id].release_slot()
+        self._busy_count -= 1
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    def machines_with_free_slots(self) -> List[Machine]:
+        return [m for m in self.machines if m.has_free_slot]
+
+    def utilization(self) -> float:
+        total = self.total_slots
+        return self.busy_slots / total if total else 0.0
+
+    def apply_blacklist(self) -> None:
+        """Propagate the blacklist onto machine flags (§2.2: clusters
+        blacklist problematic machines and avoid scheduling on them)."""
+        for machine in self.machines:
+            machine.blacklisted = self.blacklist.is_blacklisted(machine.machine_id)
+
+    def reset(self) -> None:
+        for machine in self.machines:
+            machine.reset()
+        self._busy_count = 0

@@ -1,0 +1,30 @@
+"""Hopper's core: virtual job sizes and speculation-aware allocation.
+
+This package contains the paper's primary contribution as *pure
+functions* over lightweight job descriptors, so the same logic drives the
+centralized simulator, the decentralized workers, unit tests, and
+property-based tests.
+"""
+
+from repro.core.virtual_size import threshold_multiplier, virtual_size
+from repro.core.allocation import (
+    JobAllocationState,
+    fair_allocation,
+    hopper_allocation,
+    is_capacity_constrained,
+    srpt_allocation,
+)
+from repro.core.fairness import fairness_floors
+from repro.core.locality import pick_job_with_locality
+
+__all__ = [
+    "threshold_multiplier",
+    "virtual_size",
+    "JobAllocationState",
+    "hopper_allocation",
+    "srpt_allocation",
+    "fair_allocation",
+    "is_capacity_constrained",
+    "fairness_floors",
+    "pick_job_with_locality",
+]

@@ -1,0 +1,49 @@
+"""ε-fairness (§4.3).
+
+A scheduler is ε-fair if every job receives at least ``(1 - eps) * S /
+N(t)`` slots at all times (weighted generalisation: proportional to job
+weights). ``eps -> 0`` is absolute fairness; ``eps -> 1`` is pure
+performance. Hopper guarantees ε-fairness by raising any job below its
+floor up to the floor and allocating the rest by Guideline 2/3 — a
+projection into the fair feasible set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def fairness_floors(
+    jobs: Sequence["JobAllocationState"],
+    total_slots: int,
+    epsilon: float,
+) -> Dict[int, int]:
+    """Per-job minimum slot guarantees.
+
+    floor_i = floor((1 - eps) * S * w_i / sum(w)). With integer floors the
+    total never exceeds (1 - eps) * S <= S, so the floors are always
+    jointly feasible.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    if total_slots < 0:
+        raise ValueError("total_slots must be non-negative")
+    if not jobs:
+        return {}
+    total_weight = sum(j.weight for j in jobs)
+    guaranteed = (1.0 - epsilon) * total_slots
+    return {
+        j.job_id: int(math.floor(guaranteed * j.weight / total_weight))
+        for j in jobs
+    }
+
+
+def slowdown_vs_fair(duration_with_policy: float, duration_fair: float) -> float:
+    """Relative slowdown (%) of a job versus its perfectly-fair run.
+
+    Positive values mean the policy made this job slower (Fig. 10b/10c
+    count and size these)."""
+    if duration_fair <= 0:
+        raise ValueError("duration_fair must be positive")
+    return 100.0 * (duration_with_policy - duration_fair) / duration_fair

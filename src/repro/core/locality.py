@@ -1,0 +1,46 @@
+"""Locality relaxation (§4.4).
+
+Guideline 2 serves jobs in ascending virtual size; strict adherence can
+force tasks onto machines without their input data. Hopper relaxes the
+ordering: when a slot frees on machine *m*, any of the smallest *k%* of
+jobs whose next task is data-local on *m* may be chosen instead of the
+strictly smallest job. Small *k* (<= 5%) suffices in practice because task
+completions churn quickly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, TypeVar
+
+J = TypeVar("J")
+
+
+def locality_window(num_jobs: int, k_percent: float) -> int:
+    """How many of the smallest jobs may be considered (at least 1)."""
+    if k_percent < 0 or k_percent > 100:
+        raise ValueError("k_percent must be in [0, 100]")
+    if num_jobs <= 0:
+        return 0
+    return max(1, int(math.ceil(num_jobs * k_percent / 100.0)))
+
+
+def pick_job_with_locality(
+    ordered_jobs: Sequence[J],
+    k_percent: float,
+    has_local_task: Callable[[J], bool],
+) -> Optional[J]:
+    """Pick the job to serve next given the locality allowance.
+
+    ``ordered_jobs`` must already be sorted by ascending virtual size.
+    Returns the first job within the smallest-k% window that has a local
+    task on the machine in question; if none does, falls back to the
+    strictly smallest job (locality is a preference, not a constraint).
+    """
+    if not ordered_jobs:
+        return None
+    window = locality_window(len(ordered_jobs), k_percent)
+    for job in ordered_jobs[:window]:
+        if has_local_task(job):
+            return job
+    return ordered_jobs[0]

@@ -1,0 +1,25 @@
+"""Decentralized scheduling: Sparrow, Sparrow-SRPT and decentralized Hopper.
+
+Multiple autonomous schedulers place reservation requests ("probes") on
+workers; workers *late-bind*: when a slot frees, the worker picks a queued
+request and asks the owning scheduler for a task. Hopper's worker policy
+implements Pseudocode 3 (SRPT-by-virtual-size with refusable responses and
+a non-refusable fallback); schedulers implement Pseudocode 2.
+"""
+
+from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+from repro.decentralized.messages import (
+    JobGossip,
+    Request,
+    ResponseType,
+)
+from repro.decentralized.simulator import DecentralizedSimulator
+
+__all__ = [
+    "DecentralizedConfig",
+    "WorkerPolicy",
+    "JobGossip",
+    "Request",
+    "ResponseType",
+    "DecentralizedSimulator",
+]

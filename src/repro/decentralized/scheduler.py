@@ -1,0 +1,334 @@
+"""Per-job schedulers implementing Pseudocode 2.
+
+Each scheduler owns a subset of jobs. It pushes reservation requests to
+random workers at job submission, answers worker slot offers (accept /
+refuse / no-task), runs the job's speculation algorithm, and piggybacks
+virtual-size, remaining-count and starvation updates on its messages
+(modelled by refreshing the shared :class:`JobGossip`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.core.virtual_size import virtual_size
+from repro.decentralized.messages import JobGossip, Request, ResponseType
+from repro.speculation.base import JobExecutionView, SpeculationPolicy
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.decentralized.simulator import DecentralizedSimulator
+    from repro.decentralized.worker import Episode, Worker
+
+
+class SchedulerJob:
+    """Scheduler-side runtime state for one job."""
+
+    __slots__ = (
+        "job",
+        "view",
+        "pending",
+        "activated_phases",
+        "gossip",
+        "occupied",
+        "probes_sent",
+        "spec_policy",
+        "spec_candidates",
+        "spec_dirty",
+        "spec_cache_time",
+        "spec_probed_tasks",
+        "last_activity",
+    )
+
+    def __init__(
+        self,
+        job: Job,
+        gossip: JobGossip,
+        spec_policy: SpeculationPolicy,
+        now: float,
+    ) -> None:
+        self.job = job
+        self.view = JobExecutionView(job=job)
+        self.pending: Deque[Task] = deque()
+        self.activated_phases: Set[int] = set()
+        self.gossip = gossip
+        self.occupied = 0  # running copies across the cluster
+        self.probes_sent = 0
+        self.spec_policy = spec_policy
+        self.spec_candidates: list = []
+        self.spec_dirty = True
+        self.spec_cache_time = -float("inf")
+        self.spec_probed_tasks: Set[int] = set()
+        self.last_activity = now
+
+    def activate_runnable_phases(self) -> List[Task]:
+        """Queue tasks of newly runnable phases; returns the new tasks."""
+        fresh: List[Task] = []
+        for phase in self.job.phases:
+            if phase.index in self.activated_phases:
+                continue
+            if self.job.phase_is_runnable(phase):
+                self.activated_phases.add(phase.index)
+                for task in phase.tasks:
+                    if not task.is_finished:
+                        self.pending.append(task)
+                        fresh.append(task)
+        return fresh
+
+    def next_pending(self) -> Optional[Task]:
+        while self.pending and self.pending[0].is_finished:
+            self.pending.popleft()
+        return self.pending.popleft() if self.pending else None
+
+    def has_pending(self) -> bool:
+        while self.pending and self.pending[0].is_finished:
+            self.pending.popleft()
+        return bool(self.pending)
+
+
+class SchedulerAgent:
+    """One autonomous scheduler (of many)."""
+
+    def __init__(self, scheduler_id: int, sim: "DecentralizedSimulator") -> None:
+        self.scheduler_id = scheduler_id
+        self.sim = sim
+        self.jobs: Dict[int, SchedulerJob] = {}
+
+    # -- job lifecycle -----------------------------------------------------
+
+    def submit_job(self, job: Job) -> None:
+        gossip = JobGossip(
+            job_id=job.job_id,
+            scheduler_id=self.scheduler_id,
+            virtual_size=0.0,
+            remaining_tasks=job.remaining_tasks(),
+        )
+        sj = SchedulerJob(
+            job=job,
+            gossip=gossip,
+            spec_policy=self.sim.speculation_factory(),
+            now=self.sim.sim.now,
+        )
+        self.jobs[job.job_id] = sj
+        fresh = sj.activate_runnable_phases()
+        self._refresh_gossip(sj)
+        self._send_probes(sj, len(fresh))
+
+    def _requests_are_spec_eligible(self) -> bool:
+        """Hopper's coordination: every reservation request can be
+        redeemed for a speculative copy. The baselines must issue fresh
+        probes per speculative copy instead (see Request.spec_ok)."""
+        from repro.decentralized.config import WorkerPolicy
+
+        return self.sim.config.worker_policy is WorkerPolicy.HOPPER
+
+    def _send_probes(
+        self, sj: SchedulerJob, num_tasks: int, spec_ok: Optional[bool] = None
+    ) -> None:
+        if num_tasks <= 0:
+            return
+        if spec_ok is None:
+            spec_ok = self._requests_are_spec_eligible()
+        budget = self.sim.config.max_probes_per_job - sj.probes_sent
+        count = min(
+            int(math.ceil(self.sim.config.probe_ratio * num_tasks)),
+            max(budget, 0),
+        )
+        if count <= 0:
+            return
+        sj.probes_sent += count
+        workers = self.sim.sample_workers(count)
+        now = self.sim.sim.now
+        for worker in workers:
+            request = Request(
+                gossip=sj.gossip, enqueue_time=now, spec_ok=spec_ok
+            )
+            self.sim.send(worker.on_request, request)
+        sj.last_activity = now
+
+    def _send_baseline_spec_probes(self, sj: SchedulerJob) -> None:
+        """Sparrow/Sparrow-SRPT: each newly flagged straggler gets fresh,
+        speculation-eligible probes that join the back of worker queues."""
+        fresh = 0
+        for request in self._candidates(sj):
+            task_id = request.task.task_id
+            if task_id in sj.spec_probed_tasks:
+                continue
+            sj.spec_probed_tasks.add(task_id)
+            fresh += 1
+        if fresh:
+            self._send_probes(sj, fresh, spec_ok=True)
+
+    # -- gossip / estimation -----------------------------------------------
+
+    def _virtual_size(self, sj: SchedulerJob) -> float:
+        beta = self.sim.beta()
+        alpha = 1.0
+        if self.sim.config.use_alpha and sj.job.num_phases > 1:
+            alpha = self.sim.alpha_estimator.predict_alpha(sj.job)
+        return virtual_size(sj.job.remaining_tasks(), beta, alpha)
+
+    def _fair_share(self) -> float:
+        """Approximate ε-fair floor using only local knowledge."""
+        n_local = len(self.jobs)
+        if n_local == 0:
+            return 0.0
+        n_est = n_local * self.sim.config.num_schedulers
+        return (1.0 - self.sim.config.epsilon) * self.sim.total_slots / n_est
+
+    def _refresh_gossip(self, sj: SchedulerJob) -> None:
+        sj.gossip.virtual_size = self._virtual_size(sj)
+        sj.gossip.remaining_tasks = sj.job.remaining_tasks()
+        if self.sim.config.epsilon >= 1.0:
+            sj.gossip.starved = False
+        else:
+            sj.gossip.starved = (
+                sj.occupied < self._fair_share() and self._has_demand(sj)
+            )
+
+    # -- speculation --------------------------------------------------------
+
+    def _candidates(self, sj: SchedulerJob) -> list:
+        now = self.sim.sim.now
+        if sj.spec_dirty or now - sj.spec_cache_time >= 0.25:
+            sj.spec_candidates = sj.spec_policy.speculation_candidates(
+                sj.view, now
+            )
+            sj.spec_dirty = False
+            sj.spec_cache_time = now
+        return sj.spec_candidates
+
+    def _next_speculative_task(self, sj: SchedulerJob) -> Optional[Task]:
+        for request in self._candidates(sj):
+            task = request.task
+            if task.is_finished:
+                continue
+            if len(sj.view.copies_of(task)) >= sj.spec_policy.max_copies_per_task():
+                continue
+            return task
+        return None
+
+    def _has_demand(self, sj: SchedulerJob) -> bool:
+        return sj.has_pending() or self._next_speculative_task(sj) is not None
+
+    def _smallest_unsatisfied(self) -> Optional[Tuple[float, int, int]]:
+        """(virtual size, job id, scheduler id) of this scheduler's
+        smallest job that still wants slots (attached to refusals)."""
+        best: Optional[Tuple[float, int, int]] = None
+        for sj in self.jobs.values():
+            if sj.occupied >= sj.gossip.virtual_size:
+                continue
+            if not self._has_demand(sj):
+                continue
+            entry = (sj.gossip.virtual_size, sj.job.job_id, self.scheduler_id)
+            if best is None or entry < best:
+                best = entry
+        return best
+
+    # -- Pseudocode 2: answering slot offers ---------------------------------
+
+    def on_slot_offer(
+        self,
+        worker: "Worker",
+        episode: "Episode",
+        request,
+        rtype: ResponseType,
+    ) -> None:
+        job_id = request.job_id
+        sj = self.jobs.get(job_id)
+        if sj is None or sj.job.is_complete:
+            self.sim.send(worker.on_no_task, episode, request)
+            return
+        sj.last_activity = self.sim.sim.now
+        self._refresh_gossip(sj)
+
+        task = sj.next_pending()
+        speculative = False
+        if task is None and request.spec_ok:
+            # Speculative copies only ever come from the job's speculation
+            # algorithm (Hopper is compatible with, not a replacement for,
+            # LATE/Mantri/GRASS). A refusable offer is honoured only while
+            # the job sits below its desired speculation level (its
+            # virtual size) or below its ε-fair floor; a non-refusable
+            # offer is a worker's Guideline-3 grant of extra capacity.
+            below_virtual = sj.occupied < sj.gossip.virtual_size
+            allowed = (
+                rtype is ResponseType.NON_REFUSABLE
+                or below_virtual
+                or sj.gossip.starved
+            )
+            if allowed:
+                task = self._next_speculative_task(sj)
+                speculative = task is not None
+
+        if task is not None:
+            sj.occupied += 1  # reserve eagerly; confirmed when copy binds
+            self.sim.send(
+                worker.on_accept, episode, request, task, speculative
+            )
+            return
+
+        if not self._has_demand(sj) and sj.occupied == 0:
+            # Nothing running and nothing to run: workers can drop us.
+            self.sim.send(worker.on_no_task, episode, request)
+            return
+        self.sim.send(
+            worker.on_refuse, episode, request, self._smallest_unsatisfied()
+        )
+
+    # -- execution callbacks (data plane) ------------------------------------
+
+    def on_copy_bound(self, sj: SchedulerJob) -> None:
+        sj.spec_dirty = True
+        sj.last_activity = self.sim.sim.now
+
+    def on_copy_gone(self, sj: SchedulerJob) -> None:
+        sj.occupied -= 1
+        sj.spec_dirty = True
+
+    def on_task_finished(self, sj: SchedulerJob, task: Task) -> List:
+        """Returns sibling copies to kill."""
+        sj.spec_dirty = True
+        siblings = [c for c in sj.view.copies_of(task) if c.is_running]
+        fresh = sj.activate_runnable_phases()
+        if fresh:
+            self._send_probes(sj, len(fresh))
+        self._refresh_gossip(sj)
+        return siblings
+
+    def complete_job(self, sj: SchedulerJob) -> None:
+        sj.gossip.active = False
+        del self.jobs[sj.job.job_id]
+
+    # -- periodic maintenance -------------------------------------------------
+
+    def on_spec_check(self) -> None:
+        """Periodic straggler scan + gossip refresh + liveness nudge."""
+        now = self.sim.sim.now
+        interval = self.sim.config.speculation_check_interval
+        spec_eligible_requests = self._requests_are_spec_eligible()
+        for sj in list(self.jobs.values()):
+            sj.spec_dirty = True
+            self._refresh_gossip(sj)
+            if not spec_eligible_requests:
+                self._send_baseline_spec_probes(sj)
+            if (
+                self.sim.config.nudge_probes > 0
+                and self._has_demand(sj)
+                and now - sj.last_activity > interval
+            ):
+                sj.probes_sent = min(
+                    sj.probes_sent, self.sim.config.max_probes_per_job - 1
+                )
+                self._nudge(sj)
+
+    def _nudge(self, sj: SchedulerJob) -> None:
+        workers = self.sim.sample_workers(self.sim.config.nudge_probes)
+        now = self.sim.sim.now
+        for worker in workers:
+            request = Request(gossip=sj.gossip, enqueue_time=now, spec_ok=True)
+            self.sim.send(worker.on_request, request)
+        sj.last_activity = now

@@ -1,0 +1,255 @@
+"""The decentralized cluster simulator.
+
+Wires schedulers and workers together over a message layer with uniform
+one-way delay, replays a trace, executes task copies against the straggler
+model, and collects metrics. Control messages (probes, offers, replies)
+pay the network delay; execution-state bookkeeping (copy start/finish,
+kills) is applied synchronously to keep the event count tractable — the
+protocol dynamics the paper studies (probe ratios, refusals, late binding)
+all live on the delayed control path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+from repro.decentralized.scheduler import SchedulerAgent, SchedulerJob
+from repro.decentralized.worker import Worker
+from repro.estimation.alpha import AlphaEstimator
+from repro.estimation.beta import OnlineBetaEstimator
+from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.simulation.engine import EventHandle, Simulator
+from repro.simulation.rng import RandomSource
+from repro.speculation.base import SpeculationPolicy
+from repro.stragglers.model import StragglerModel
+from repro.stragglers.progress import TaskCopy
+from repro.workload.job import Job
+from repro.workload.task import Task, TaskState
+from repro.workload.traces import Trace
+
+
+class DecentralizedSimulator:
+    """Simulates a trace under a decentralized scheduling policy.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker machines (each with ``slots_per_worker`` slots).
+    speculation:
+        Factory for per-job speculation policies (LATE/Mantri/GRASS).
+    trace:
+        Jobs to replay.
+    straggler_model:
+        Per-copy slowdown generator.
+    config:
+        Protocol knobs; see :class:`DecentralizedConfig`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        speculation: Callable[[], SpeculationPolicy],
+        trace: Trace,
+        straggler_model: StragglerModel,
+        config: Optional[DecentralizedConfig] = None,
+        slots_per_worker: int = 1,
+        random_source: Optional[RandomSource] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if slots_per_worker <= 0:
+            raise ValueError("slots_per_worker must be positive")
+        self.config = config or DecentralizedConfig()
+        self.speculation_factory = speculation
+        self.trace = trace
+        self.straggler_model = straggler_model
+        self.random_source = random_source or RandomSource(seed=0)
+        self.rng = self.random_source.child("decentralized").rng
+
+        self.sim = Simulator()
+        self.metrics = MetricsCollector(
+            scheduler_name=name or f"decentralized-{self.config.worker_policy.value}"
+        )
+        self.beta_estimator = OnlineBetaEstimator(
+            default_beta=self.config.default_beta
+        )
+        self.alpha_estimator = AlphaEstimator(
+            network_rate=self.config.network_rate
+        )
+
+        self.workers: List[Worker] = [
+            Worker(worker_id=i, num_slots=slots_per_worker, sim=self)
+            for i in range(num_workers)
+        ]
+        self.total_slots = num_workers * slots_per_worker
+        self.schedulers: List[SchedulerAgent] = [
+            SchedulerAgent(scheduler_id=i, sim=self)
+            for i in range(self.config.num_schedulers)
+        ]
+        self._owner: Dict[int, SchedulerAgent] = {}
+        self._copy_events: Dict[int, EventHandle] = {}
+        self._next_copy_id = 0
+        self._next_scheduler = 0
+        self._active_jobs = 0
+        self._spec_check_scheduled = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def send(self, fn: Callable[..., None], *args) -> None:
+        """Deliver a control message after the configured one-way delay."""
+        self.metrics.record_message()
+        if self.config.message_delay > 0:
+            self.sim.schedule(self.config.message_delay, fn, *args)
+        else:
+            self.sim.schedule(0.0, fn, *args)
+
+    def sample_workers(self, count: int) -> List[Worker]:
+        """Uniformly sample ``count`` distinct workers (all, if fewer)."""
+        if count >= len(self.workers):
+            return list(self.workers)
+        return self.rng.sample(self.workers, count)
+
+    def gossip_for(self, job_id: int):
+        """Latest gossip for a job, or None if it completed."""
+        scheduler = self._owner.get(job_id)
+        if scheduler is None:
+            return None
+        sj = scheduler.jobs.get(job_id)
+        return sj.gossip if sj is not None else None
+
+    def beta(self) -> float:
+        if self.config.learn_beta:
+            return self.beta_estimator.beta
+        return self.config.default_beta
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        for job in self.trace:
+            self.sim.schedule_at(job.arrival_time, self._on_job_arrival, job)
+        self.sim.run(until=until)
+        return self.metrics.result
+
+    def _on_job_arrival(self, job: Job) -> None:
+        scheduler = self.schedulers[self._next_scheduler]
+        self._next_scheduler = (self._next_scheduler + 1) % len(self.schedulers)
+        self._owner[job.job_id] = scheduler
+        self._active_jobs += 1
+        scheduler.submit_job(job)
+        self._ensure_spec_check()
+
+    def _ensure_spec_check(self) -> None:
+        if self._spec_check_scheduled or self._active_jobs == 0:
+            return
+        self._spec_check_scheduled = True
+        self.sim.schedule(
+            self.config.speculation_check_interval, self._on_spec_check
+        )
+
+    def _on_spec_check(self) -> None:
+        self._spec_check_scheduled = False
+        if self._active_jobs == 0:
+            return
+        for scheduler in self.schedulers:
+            scheduler.on_spec_check()
+        self._ensure_spec_check()
+
+    # -- execution (data plane) ----------------------------------------------
+
+    def start_copy(self, worker: Worker, task: Task, speculative: bool) -> None:
+        """Bind an accepted task to the worker's slot and run it."""
+        scheduler = self._owner.get(task.job_id)
+        sj = scheduler.jobs.get(task.job_id) if scheduler else None
+        if sj is None or task.is_finished:
+            # Raced with completion between accept and arrival; release the
+            # eager occupancy reservation made at accept time.
+            if sj is not None:
+                scheduler.on_copy_gone(sj)
+            worker.maybe_start_episode()
+            return
+        attempt = sj.view.attempts(task)
+        slowdown = self.straggler_model.slowdown(
+            self.rng, task, worker.worker_id, attempt
+        )
+        duration = task.size * slowdown
+        copy = TaskCopy(
+            copy_id=self._next_copy_id,
+            task=task,
+            machine_id=worker.worker_id,
+            start_time=self.sim.now,
+            duration=duration,
+            speculative=speculative,
+        )
+        self._next_copy_id += 1
+        sj.view.register_copy(copy)
+        worker.bind_copy(copy)
+        scheduler.on_copy_bound(sj)
+        handle = self.sim.schedule(duration, self._on_copy_finish, copy)
+        self._copy_events[copy.copy_id] = handle
+        self.metrics.record_copy_launch(speculative=speculative, local=True)
+
+    def _on_copy_finish(self, copy: TaskCopy) -> None:
+        self._copy_events.pop(copy.copy_id, None)
+        copy.finished = True
+        copy.end_time = self.sim.now
+        task = copy.task
+        scheduler = self._owner.get(task.job_id)
+        sj = scheduler.jobs.get(task.job_id) if scheduler else None
+        self.workers[copy.machine_id].release_copy(copy)
+        self.metrics.record_copy_finished(
+            copy.duration,
+            speculative_win=copy.speculative and not task.is_finished,
+        )
+        if sj is None:
+            return
+        sj.view.remove_copy(copy)
+        scheduler.on_copy_gone(sj)
+
+        if not task.is_finished:
+            task.state = TaskState.FINISHED
+            task.finish_time = self.sim.now
+            task.completed_by_speculative = copy.speculative
+            sj.job.phase(task.phase_index).mark_task_finished(task.size)
+            sj.view.completed_durations.append(copy.duration)
+            self.beta_estimator.observe(copy.duration)
+            for sibling in scheduler.on_task_finished(sj, task):
+                self._kill_copy(sibling, scheduler, sj)
+            if sj.job.is_complete:
+                self._complete_job(scheduler, sj)
+
+    def _kill_copy(
+        self,
+        copy: TaskCopy,
+        scheduler: SchedulerAgent,
+        sj: SchedulerJob,
+    ) -> None:
+        handle = self._copy_events.pop(copy.copy_id, None)
+        if handle is not None:
+            handle.cancel()
+        copy.killed = True
+        copy.end_time = self.sim.now
+        sj.view.remove_copy(copy)
+        scheduler.on_copy_gone(sj)
+        self.metrics.record_copy_killed(copy.resource_time(self.sim.now))
+        # The kill travels to the worker as a control message.
+        self.metrics.record_message()
+        self.workers[copy.machine_id].release_copy(copy)
+
+    def _complete_job(self, scheduler: SchedulerAgent, sj: SchedulerJob) -> None:
+        job = sj.job
+        job.finish_time = self.sim.now
+        self.metrics.record_job_completion(
+            job_id=job.job_id,
+            name=job.name,
+            num_tasks=job.num_tasks,
+            dag_length=job.dag_length,
+            arrival_time=job.arrival_time,
+            finish_time=self.sim.now,
+        )
+        self.alpha_estimator.observe_job(job)
+        scheduler.complete_job(sj)
+        self._owner.pop(job.job_id, None)
+        self._active_jobs -= 1

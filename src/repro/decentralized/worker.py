@@ -1,0 +1,265 @@
+"""Workers: late-binding slot holders implementing Pseudocode 3.
+
+When a slot frees, a worker runs a *selection episode*: it offers the slot
+to the scheduler of the most promising queued request. Under the HOPPER
+policy the offer is *refusable* and ordered by ascending virtual size;
+each refusal teaches the worker about unsatisfied jobs elsewhere; after a
+threshold of refusals the worker either serves the smallest unsatisfied
+job (non-refusably) or concludes the system is not capacity constrained
+and samples a job proportionally to virtual size (Guideline 3).
+
+Sparrow (FIFO) and Sparrow-SRPT workers send only non-refusable offers and
+treat original and speculative reservation requests as distinct queue
+entries (speculative copies wait their turn — the §5.1 friction Hopper
+removes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.decentralized.config import WorkerPolicy
+from repro.decentralized.messages import Request, ResponseType
+from repro.stragglers.progress import TaskCopy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.decentralized.simulator import DecentralizedSimulator
+
+
+class Episode:
+    """One slot-selection episode (possibly spanning several refusals)."""
+
+    __slots__ = ("worker", "refusals", "tried", "unsatisfied")
+
+    def __init__(self, worker: "Worker") -> None:
+        self.worker = worker
+        self.refusals = 0
+        # (job_id, spec_ok) pairs already offered during this episode
+        self.tried: Set[Tuple[int, bool]] = set()
+        # (virtual_size, job_id, scheduler_id) tuples learned from refusals
+        self.unsatisfied: List[Tuple[float, int, int]] = []
+
+
+class Worker:
+    """A machine with task slots and a queue of reservation requests."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        num_slots: int,
+        sim: "DecentralizedSimulator",
+    ) -> None:
+        self.worker_id = worker_id
+        self.num_slots = num_slots
+        self.sim = sim
+        self.queue: List[Request] = []
+        self.busy_slots = 0
+        self.pending_episodes = 0  # episodes awaiting a scheduler reply
+        self.running: List[TaskCopy] = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def available_slots(self) -> int:
+        """Slots neither running a copy nor promised to an episode."""
+        return self.num_slots - self.busy_slots - self.pending_episodes
+
+    def purge_job(self, job_id: int) -> None:
+        self.queue = [r for r in self.queue if r.job_id != job_id]
+
+    def _purge_inactive(self) -> None:
+        if any(not r.gossip.active for r in self.queue):
+            self.queue = [r for r in self.queue if r.gossip.active]
+
+    def consume_request(self, request: Request) -> None:
+        """Remove this exact queued request (on task assignment)."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    # -- protocol ----------------------------------------------------------
+
+    def on_request(self, request: Request) -> None:
+        """A reservation request arrives (after network delay)."""
+        self.queue.append(request)
+        self.maybe_start_episode()
+
+    def maybe_start_episode(self) -> None:
+        if self.available_slots <= 0:
+            return
+        self._purge_inactive()
+        if not self.queue:
+            return
+        episode = Episode(self)
+        self.pending_episodes += 1
+        self._episode_step(episode)
+
+    def _candidates(self, episode: Episode) -> List[Request]:
+        """One representative request per untried (job, spec_ok) pair."""
+        self._purge_inactive()
+        seen: Set[Tuple[int, bool]] = set()
+        unique: List[Request] = []
+        for request in self.queue:
+            key = (request.job_id, request.spec_ok)
+            if key in episode.tried or key in seen:
+                continue
+            seen.add(key)
+            unique.append(request)
+        return unique
+
+    def _episode_step(self, episode: Episode) -> None:
+        """Pick the next request to offer the slot to (Pseudocode 3)."""
+        candidates = self._candidates(episode)
+        if not candidates:
+            self._finish_episode_idle(episode)
+            return
+
+        policy = self.sim.config.worker_policy
+        if policy is WorkerPolicy.FIFO:
+            request = min(candidates, key=lambda r: r.enqueue_time)
+            self._offer(episode, request, ResponseType.NON_REFUSABLE)
+            return
+        if policy is WorkerPolicy.SRPT:
+            request = min(
+                candidates,
+                key=lambda r: (r.gossip.remaining_tasks, r.enqueue_time),
+            )
+            self._offer(episode, request, ResponseType.NON_REFUSABLE)
+            return
+
+        # HOPPER policy -------------------------------------------------
+        # Starved jobs (ε-fairness) are served before everything else.
+        starved = [r for r in candidates if r.gossip.starved]
+        if starved:
+            request = min(starved, key=lambda r: r.gossip.virtual_size)
+            self._offer(episode, request, ResponseType.REFUSABLE)
+            return
+
+        if episode.refusals >= self.sim.config.refusal_threshold:
+            self.sim.metrics.record_guideline_decision(
+                constrained=bool(episode.unsatisfied)
+            )
+            if episode.unsatisfied:
+                # Capacity constrained: serve the smallest unsatisfied job.
+                entry = min(episode.unsatisfied)
+                episode.unsatisfied.remove(entry)
+                _, job_id, scheduler_id = entry
+                request = self._request_for(candidates, job_id)
+                if request is None:
+                    # No queued request for it: answer it directly.
+                    self._offer_direct(
+                        episode, job_id, scheduler_id,
+                        ResponseType.NON_REFUSABLE,
+                    )
+                    return
+                self._offer(episode, request, ResponseType.NON_REFUSABLE)
+                return
+            # Not capacity constrained: Guideline 3 — sample a job
+            # proportionally to its virtual size.
+            request = self._weighted_pick(candidates)
+            self._offer(episode, request, ResponseType.NON_REFUSABLE)
+            return
+
+        request = min(
+            candidates, key=lambda r: (r.gossip.virtual_size, r.enqueue_time)
+        )
+        self._offer(episode, request, ResponseType.REFUSABLE)
+
+    @staticmethod
+    def _request_for(
+        candidates: List[Request], job_id: int
+    ) -> Optional[Request]:
+        for request in candidates:
+            if request.job_id == job_id:
+                return request
+        return None
+
+    def _weighted_pick(self, candidates: List[Request]) -> Request:
+        weights = [max(r.gossip.virtual_size, 1e-9) for r in candidates]
+        total = sum(weights)
+        u = self.sim.rng.random() * total
+        acc = 0.0
+        for request, weight in zip(candidates, weights):
+            acc += weight
+            if u <= acc:
+                return request
+        return candidates[-1]
+
+    def _offer(
+        self,
+        episode: Episode,
+        request: Request,
+        rtype: ResponseType,
+    ) -> None:
+        episode.tried.add((request.job_id, request.spec_ok))
+        scheduler = self.sim.schedulers[request.scheduler_id]
+        self.sim.send(scheduler.on_slot_offer, self, episode, request, rtype)
+
+    def _offer_direct(
+        self,
+        episode: Episode,
+        job_id: int,
+        scheduler_id: int,
+        rtype: ResponseType,
+    ) -> None:
+        """Offer a slot to a job learned about via refusal gossip (no
+        queued request of ours). A synthetic speculation-eligible request
+        is created for the offer."""
+        gossip = self.sim.gossip_for(job_id)
+        if gossip is None or not gossip.active:
+            self._episode_step(episode)
+            return
+        scheduler = self.sim.schedulers[scheduler_id]
+        synthetic = Request(
+            gossip=gossip, enqueue_time=self.sim.sim.now, spec_ok=True
+        )
+        episode.tried.add((job_id, True))
+        self.sim.send(scheduler.on_slot_offer, self, episode, synthetic, rtype)
+
+    def _finish_episode_idle(self, episode: Episode) -> None:
+        """No acceptable request: the slot stays free."""
+        self.pending_episodes -= 1
+
+    # -- replies from schedulers -------------------------------------------
+
+    def on_accept(
+        self, episode: Episode, request: Request, task, speculative: bool
+    ) -> None:
+        """Scheduler sent a task: bind it to the promised slot."""
+        self.pending_episodes -= 1
+        self.consume_request(request)
+        self.sim.start_copy(self, task, speculative)
+        # More slots may still be free (multi-slot workers).
+        self.maybe_start_episode()
+
+    def on_refuse(
+        self,
+        episode: Episode,
+        request: Request,
+        unsatisfied: Optional[Tuple[float, int, int]],
+    ) -> None:
+        """Refusable offer declined (job at its desired speculation level)."""
+        episode.refusals += 1
+        if unsatisfied is not None:
+            episode.unsatisfied.append(unsatisfied)
+        self._episode_step(episode)
+
+    def on_no_task(self, episode: Episode, request: Request) -> None:
+        """Job has nothing left at all — purge and keep looking."""
+        self.purge_job(request.job_id)
+        self._episode_step(episode)
+
+    # -- execution ----------------------------------------------------------
+
+    def bind_copy(self, copy: TaskCopy) -> None:
+        self.busy_slots += 1
+        self.running.append(copy)
+
+    def release_copy(self, copy: TaskCopy) -> None:
+        self.busy_slots -= 1
+        try:
+            self.running.remove(copy)
+        except ValueError:
+            pass
+        self.maybe_start_episode()

@@ -1,0 +1,6 @@
+"""Online estimation of workload parameters (beta, alpha)."""
+
+from repro.estimation.beta import OnlineBetaEstimator, fit_pareto_shape
+from repro.estimation.alpha import AlphaEstimator
+
+__all__ = ["OnlineBetaEstimator", "fit_pareto_shape", "AlphaEstimator"]

@@ -1,0 +1,106 @@
+"""Estimating intermediate data sizes and the DAG factor alpha (§6.3).
+
+Intermediate output sizes are unknown upfront; Hopper predicts them from
+*recurring* jobs — periodic scripts whose outputs are similar run to run.
+The estimator keeps a per-(job name, phase index) running mean of observed
+phase output sizes and predicts the next run's outputs from it, falling
+back to a neutral alpha of 1.0 for never-seen jobs. The paper reports 92%
+average accuracy with this scheme.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.workload.job import Job
+
+
+class AlphaEstimator:
+    """Recurring-job history for intermediate data and alpha prediction."""
+
+    def __init__(self, network_rate: float = 1.0) -> None:
+        if network_rate <= 0:
+            raise ValueError("network_rate must be positive")
+        self.network_rate = network_rate
+        # (job name, phase index) -> list of observed output sizes
+        self._history: Dict[Tuple[str, int], List[float]] = defaultdict(list)
+        self._prediction_errors: List[float] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def observe_phase_output(
+        self, job_name: str, phase_index: int, output_data: float
+    ) -> None:
+        """Record the actual intermediate output of a finished phase."""
+        if not job_name:
+            return
+        if output_data < 0:
+            raise ValueError("output_data must be non-negative")
+        predicted = self.predict_phase_output(job_name, phase_index)
+        if predicted is not None and output_data > 0:
+            self._prediction_errors.append(
+                abs(predicted - output_data) / output_data
+            )
+        self._history[(job_name, phase_index)].append(float(output_data))
+
+    def observe_job(self, job: Job) -> None:
+        """Record all phases of a completed job."""
+        for phase in job.phases:
+            if phase.output_data > 0:
+                self.observe_phase_output(job.name, phase.index, phase.output_data)
+
+    # -- prediction --------------------------------------------------------
+
+    def predict_phase_output(
+        self, job_name: str, phase_index: int
+    ) -> Optional[float]:
+        """Predicted output size, or None with no history."""
+        history = self._history.get((job_name, phase_index))
+        if not history:
+            return None
+        return sum(history) / len(history)
+
+    def predict_alpha(self, job: Job) -> float:
+        """Alpha using *predicted* intermediate sizes.
+
+        Computes remaining downstream communication over remaining
+        upstream work for the job's running front, exactly like
+        ``Job.alpha`` but substituting historical predictions for actual
+        output sizes. Returns 1.0 when there is no applicable history.
+        """
+        upstream_work = 0.0
+        downstream_comm = 0.0
+        saw_prediction = False
+        for phase in job.current_phases():
+            upstream_work += phase.remaining_work()
+            predicted = self.predict_phase_output(job.name, phase.index)
+            if predicted is None:
+                continue
+            remaining_fraction = (
+                phase.remaining_tasks / phase.num_tasks if phase.num_tasks else 0.0
+            )
+            for child in job.downstream_of(phase):
+                if not child.is_complete:
+                    saw_prediction = True
+                    downstream_comm += (
+                        predicted * remaining_fraction / self.network_rate
+                    )
+        if not saw_prediction or upstream_work <= 0 or downstream_comm <= 0:
+            return 1.0
+        return downstream_comm / upstream_work
+
+    # -- accuracy reporting ------------------------------------------------
+
+    @property
+    def accuracy(self) -> float:
+        """Mean prediction accuracy (1 - relative error), as reported in
+        §6.3 (92% in the paper's workloads). 0.0 before any repeat runs."""
+        if not self._prediction_errors:
+            return 0.0
+        mean_err = sum(self._prediction_errors) / len(self._prediction_errors)
+        return max(0.0, 1.0 - mean_err)
+
+    @property
+    def num_predictions_scored(self) -> int:
+        return len(self._prediction_errors)

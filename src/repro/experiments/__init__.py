@@ -1,0 +1,29 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``figN_*`` function in :mod:`repro.experiments.figures` regenerates
+the corresponding figure's rows/series at laptop scale and returns plain
+data structures; ``benchmarks/`` wraps them in pytest-benchmark targets
+that print paper-vs-measured tables.
+"""
+
+from repro.experiments.harness import (
+    WorkloadSpec,
+    build_trace,
+    run_centralized,
+    run_decentralized,
+)
+from repro.experiments import figures
+from repro.experiments.motivating import (
+    MotivatingExampleResult,
+    run_motivating_example,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_trace",
+    "run_centralized",
+    "run_decentralized",
+    "figures",
+    "MotivatingExampleResult",
+    "run_motivating_example",
+]

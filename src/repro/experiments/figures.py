@@ -1,0 +1,575 @@
+"""Per-figure experiment entry points (see DESIGN.md §4 for the index).
+
+Each function regenerates one paper figure/table at laptop scale and
+returns plain data (lists of rows / dicts) that the benchmarks print and
+assert shape properties on. Parameters default to sizes that run in
+seconds; pass larger values to approach the paper's scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.centralized.config import CentralizedConfig, SpeculationMode
+from repro.cluster.cluster import Cluster
+from repro.centralized.policies import HopperPolicy, SRPTPolicy
+from repro.centralized.simulator import CentralizedSimulator
+from repro.core.virtual_size import threshold_multiplier
+from repro.experiments.harness import (
+    WorkloadSpec,
+    build_trace,
+    default_straggler_model,
+    run_centralized,
+    run_decentralized,
+)
+from repro.metrics.analysis import (
+    gain_cdf,
+    mean_reduction_percent,
+    percentile,
+    reduction_by_bin,
+    reduction_by_dag_length,
+    slowdown_stats,
+)
+from repro.metrics.collector import SimulationResult
+from repro.simulation.rng import RandomSource
+from repro.speculation import make_speculation_policy
+from repro.stragglers.model import ParetoRedrawStragglerModel
+from repro.workload.generator import (
+    BING_PROFILE,
+    FACEBOOK_PROFILE,
+    SPARK_BING_PROFILE,
+    SPARK_FACEBOOK_PROFILE,
+    bin_label,
+)
+from repro.workload.job import make_single_phase_job
+from repro.workload.traces import Trace
+
+
+# --------------------------------------------------------------------------
+# Figure 3: the sharp threshold in the value of extra slots
+# --------------------------------------------------------------------------
+
+def fig3_threshold(
+    beta: float = 1.4,
+    num_tasks: int = 200,
+    normalized_slots: Sequence[float] = (
+        0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5,
+    ),
+    repetitions: int = 30,
+    seed: int = 11,
+) -> List[Tuple[float, float]]:
+    """Single-job completion time vs normalized slot count.
+
+    Returns (slots / num_tasks, median completion normalized by the best
+    point). The knee should sit near ``2 / beta`` (the red line in
+    Fig. 3). LATE is run uncapped so that the job can actually exploit
+    slots beyond one-per-task — the question the figure asks is how much
+    that exploitation is worth.
+    """
+    from repro.workload.distributions import ParetoDistribution
+
+    duration_dist = ParetoDistribution(shape=beta, scale=1.0)
+    raw: List[Tuple[float, float]] = []
+    for norm in normalized_slots:
+        slots = max(1, int(round(norm * num_tasks)))
+        samples: List[float] = []
+        for rep in range(repetitions):
+            source = RandomSource(seed=seed + 1000 * rep)
+            rng = source.child("fig3").rng
+            sizes = [duration_dist.sample(rng) for _ in range(num_tasks)]
+            job = make_single_phase_job(0, 0.0, sizes)
+            trace = Trace(jobs=[job])
+            cluster = Cluster(num_machines=slots, slots_per_machine=1)
+            sim = CentralizedSimulator(
+                cluster=cluster,
+                policy=HopperPolicy(epsilon=1.0),
+                speculation=lambda: make_speculation_policy(
+                    "late",
+                    detect_after=0.25,
+                    speculative_cap_fraction=1.0,
+                    slow_task_pct=1.0,
+                    max_copies=6,
+                ),
+                trace=trace.fresh_copy(),
+                straggler_model=ParetoRedrawStragglerModel(beta=beta),
+                config=CentralizedConfig(
+                    learn_beta=False,
+                    default_beta=beta,
+                    epsilon=1.0,
+                    speculation_check_interval=0.25,
+                    preempt_speculative=False,
+                    max_copies_cap=6,
+                ),
+                random_source=RandomSource(seed=seed + rep),
+            )
+            result = sim.run()
+            samples.append(result.jobs[0].duration)
+        samples.sort()
+        median = samples[len(samples) // 2]
+        raw.append((norm, median))
+    best = min(v for _, v in raw)
+    return [(norm, v / best) for norm, v in raw]
+
+
+def knee_position(curve: Sequence[Tuple[float, float]]) -> float:
+    """Locate the knee: the first x at which the curve has entered its
+    plateau (within 10% of the remaining drop to the final value)."""
+    if len(curve) < 3:
+        raise ValueError("need at least 3 points")
+    initial = curve[0][1]
+    final = min(v for _, v in curve)
+    threshold = final + 0.10 * max(initial - final, 1e-9)
+    for x, v in curve:
+        if v <= threshold:
+            return x
+    return curve[-1][0]
+
+
+# --------------------------------------------------------------------------
+# Figures 5a/5b: probes and refusals vs the centralized scheduler
+# --------------------------------------------------------------------------
+
+@dataclass
+class DecentralizationRow:
+    """One point of Fig. 5a/5b: ratio of decentralized to centralized
+    mean job duration."""
+
+    parameter: float
+    utilization: float
+    system: str
+    ratio: float
+
+
+def _centralized_reference(spec: WorkloadSpec, trace: Trace) -> float:
+    result = run_centralized(trace, "hopper", spec)
+    return result.mean_job_duration
+
+
+def fig5a_probe_count(
+    probe_ratios: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[DecentralizationRow]:
+    """Ratio of decentralized Hopper (and Sparrow) to centralized Hopper
+    as the probe count d varies (Fig. 5a)."""
+    rows: List[DecentralizationRow] = []
+    for utilization in utilizations:
+        spec = WorkloadSpec(
+            profile=SPARK_FACEBOOK_PROFILE,
+            num_jobs=num_jobs,
+            utilization=utilization,
+            total_slots=total_slots,
+        )
+        trace = build_trace(spec)
+        reference = _centralized_reference(spec, trace)
+        for ratio in probe_ratios:
+            result = run_decentralized(
+                trace, "hopper", spec, probe_ratio=ratio
+            )
+            rows.append(
+                DecentralizationRow(
+                    parameter=ratio,
+                    utilization=utilization,
+                    system="hopper",
+                    ratio=result.mean_job_duration / reference,
+                )
+            )
+        sparrow = run_decentralized(trace, "sparrow", spec, probe_ratio=2.0)
+        rows.append(
+            DecentralizationRow(
+                parameter=2.0,
+                utilization=utilization,
+                system="sparrow",
+                ratio=sparrow.mean_job_duration / reference,
+            )
+        )
+    return rows
+
+
+def fig5b_refusal_count(
+    refusal_counts: Sequence[int] = (0, 1, 2, 3, 5, 8),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[DecentralizationRow]:
+    """Ratio vs centralized as the refusal threshold varies (Fig. 5b)."""
+    rows: List[DecentralizationRow] = []
+    for utilization in utilizations:
+        spec = WorkloadSpec(
+            profile=SPARK_FACEBOOK_PROFILE,
+            num_jobs=num_jobs,
+            utilization=utilization,
+            total_slots=total_slots,
+        )
+        trace = build_trace(spec)
+        reference = _centralized_reference(spec, trace)
+        for refusals in refusal_counts:
+            result = run_decentralized(
+                trace, "hopper", spec, refusal_threshold=refusals
+            )
+            rows.append(
+                DecentralizationRow(
+                    parameter=float(refusals),
+                    utilization=utilization,
+                    system="hopper",
+                    ratio=result.mean_job_duration / reference,
+                )
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 6: decentralized gains vs utilization (Facebook & Bing)
+# --------------------------------------------------------------------------
+
+@dataclass
+class UtilizationGainRow:
+    utilization: float
+    vs_sparrow: float
+    vs_sparrow_srpt: float
+
+
+def fig6_utilization_gains(
+    profile_name: str = "facebook",
+    utilizations: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[UtilizationGainRow]:
+    """Reduction in average job duration of decentralized Hopper vs
+    Sparrow and Sparrow-SRPT across utilizations (Fig. 6a/6b)."""
+    profile = (
+        SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
+    )
+    rows: List[UtilizationGainRow] = []
+    for utilization in utilizations:
+        spec = WorkloadSpec(
+            profile=profile,
+            num_jobs=num_jobs,
+            utilization=utilization,
+            total_slots=total_slots,
+        )
+        trace = build_trace(spec)
+        hopper = run_decentralized(trace, "hopper", spec)
+        sparrow = run_decentralized(trace, "sparrow", spec)
+        srpt = run_decentralized(trace, "sparrow-srpt", spec)
+        rows.append(
+            UtilizationGainRow(
+                utilization=utilization,
+                vs_sparrow=mean_reduction_percent(sparrow, hopper),
+                vs_sparrow_srpt=mean_reduction_percent(srpt, hopper),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 7: gains by job-size bin
+# --------------------------------------------------------------------------
+
+def fig7_job_bins(
+    profile_name: str = "facebook",
+    utilization: float = 0.6,
+    num_jobs: int = 200,
+    total_slots: int = 400,
+) -> Dict[str, float]:
+    """Per-bin reduction vs Sparrow-SRPT (Fig. 7); keys are bin labels."""
+    profile = (
+        SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
+    )
+    spec = WorkloadSpec(
+        profile=profile,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+    )
+    trace = build_trace(spec)
+    hopper = run_decentralized(trace, "hopper", spec)
+    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    by_bin = reduction_by_bin(srpt, hopper)
+    out = {bin_label(i): gain for i, gain in sorted(by_bin.items())}
+    out["overall"] = mean_reduction_percent(srpt, hopper)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figure 8a: CDF of gains; Figure 8b: gains vs DAG length
+# --------------------------------------------------------------------------
+
+def fig8a_gain_cdf(
+    utilization: float = 0.6,
+    num_jobs: int = 200,
+    total_slots: int = 400,
+) -> Dict[str, object]:
+    """CDF of per-job gains vs Sparrow-SRPT plus summary percentiles."""
+    spec = WorkloadSpec(
+        profile=SPARK_FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+    )
+    trace = build_trace(spec)
+    hopper = run_decentralized(trace, "hopper", spec)
+    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    cdf = gain_cdf(srpt, hopper)
+    gains = [g for g, _ in cdf]
+    return {
+        "cdf": cdf,
+        "p10": percentile(gains, 0.10),
+        "p50": percentile(gains, 0.50),
+        "p90": percentile(gains, 0.90),
+        "mean": sum(gains) / len(gains) if gains else 0.0,
+    }
+
+
+def fig8b_dag_length(
+    utilization: float = 0.6,
+    num_jobs: int = 220,
+    total_slots: int = 400,
+) -> Dict[int, float]:
+    """Reduction vs Sparrow-SRPT grouped by DAG length (Fig. 8b)."""
+    spec = WorkloadSpec(
+        profile=FACEBOOK_PROFILE,  # full DAG mix
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+        max_phase_tasks=120,
+    )
+    trace = build_trace(spec)
+    hopper = run_decentralized(trace, "hopper", spec)
+    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    return reduction_by_dag_length(srpt, hopper)
+
+
+# --------------------------------------------------------------------------
+# Figure 9: gains under different speculation algorithms
+# --------------------------------------------------------------------------
+
+def fig9_speculation_algorithms(
+    algorithms: Sequence[str] = ("late", "mantri", "grass"),
+    utilization: float = 0.6,
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> Dict[str, Dict[str, float]]:
+    """Overall and per-bin gains of Hopper vs Sparrow-SRPT, pairing both
+    systems with each speculation algorithm (Fig. 9)."""
+    spec = WorkloadSpec(
+        profile=SPARK_FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+    )
+    trace = build_trace(spec)
+    out: Dict[str, Dict[str, float]] = {}
+    for algorithm in algorithms:
+        hopper = run_decentralized(trace, "hopper", spec, speculation=algorithm)
+        srpt = run_decentralized(
+            trace, "sparrow-srpt", spec, speculation=algorithm
+        )
+        per_bin = {
+            bin_label(i): gain
+            for i, gain in sorted(reduction_by_bin(srpt, hopper).items())
+        }
+        per_bin["overall"] = mean_reduction_percent(srpt, hopper)
+        out[algorithm] = per_bin
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figure 10: fairness knob epsilon
+# --------------------------------------------------------------------------
+
+@dataclass
+class FairnessRow:
+    epsilon: float
+    gain_vs_srpt: float
+    fraction_slowed: float
+    mean_slowdown: float
+    worst_slowdown: float
+
+
+def fig10_fairness(
+    epsilons: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.30),
+    utilization: float = 0.7,
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[FairnessRow]:
+    """Gains and slowdown-vs-fair as epsilon varies (Fig. 10a/b/c).
+
+    The slowdown reference is Hopper at epsilon=0 (perfectly fair floors),
+    the paper's "perfectly fair allocation"."""
+    spec = WorkloadSpec(
+        profile=SPARK_FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+    )
+    trace = build_trace(spec)
+    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    fair_reference = run_decentralized(trace, "hopper", spec, epsilon=0.0)
+    rows: List[FairnessRow] = []
+    for epsilon in epsilons:
+        result = run_decentralized(trace, "hopper", spec, epsilon=epsilon)
+        fraction, mean_slow, worst = slowdown_stats(fair_reference, result)
+        rows.append(
+            FairnessRow(
+                epsilon=epsilon,
+                gain_vs_srpt=mean_reduction_percent(srpt, result),
+                fraction_slowed=fraction,
+                mean_slowdown=mean_slow,
+                worst_slowdown=worst,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Figure 11: probe ratio sweep
+# --------------------------------------------------------------------------
+
+def fig11_probe_ratio(
+    probe_ratios: Sequence[float] = (2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> Dict[float, Dict[float, float]]:
+    """Hopper's gain vs Sparrow-SRPT as the probe ratio varies
+    (Fig. 11); keyed [utilization][probe_ratio] -> reduction %."""
+    out: Dict[float, Dict[float, float]] = {}
+    for utilization in utilizations:
+        spec = WorkloadSpec(
+            profile=SPARK_FACEBOOK_PROFILE,
+            num_jobs=num_jobs,
+            utilization=utilization,
+            total_slots=total_slots,
+        )
+        trace = build_trace(spec)
+        srpt = run_decentralized(trace, "sparrow-srpt", spec)
+        out[utilization] = {}
+        for ratio in probe_ratios:
+            result = run_decentralized(
+                trace, "hopper", spec, probe_ratio=ratio
+            )
+            out[utilization][ratio] = mean_reduction_percent(srpt, result)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figure 12: centralized Hopper vs SRPT
+# --------------------------------------------------------------------------
+
+def fig12_centralized(
+    profile_name: str = "facebook",
+    utilization: float = 0.7,
+    num_jobs: int = 200,
+    total_slots: int = 200,
+) -> Dict[str, object]:
+    """Centralized Hopper vs centralized SRPT+best-effort-LATE: overall,
+    per-bin, per-DAG-length (Fig. 12a/12b).
+
+    The "Spark-like" variant (small interactive jobs) shows modestly
+    higher gains than "Hadoop-like", mirroring the paper's observation.
+    """
+    profile = FACEBOOK_PROFILE if profile_name == "facebook" else BING_PROFILE
+    spec = WorkloadSpec(
+        profile=profile,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+        max_phase_tasks=300,
+    )
+    trace = build_trace(spec)
+    hopper = run_centralized(trace, "hopper", spec)
+    srpt = run_centralized(trace, "srpt", spec)
+    return {
+        "overall": mean_reduction_percent(srpt, hopper),
+        "by_bin": {
+            bin_label(i): gain
+            for i, gain in sorted(reduction_by_bin(srpt, hopper).items())
+        },
+        "by_dag_length": reduction_by_dag_length(srpt, hopper),
+    }
+
+
+# --------------------------------------------------------------------------
+# Figure 13: locality allowance k
+# --------------------------------------------------------------------------
+
+@dataclass
+class LocalityRow:
+    k_percent: float
+    gain_vs_srpt: float
+    locality_fraction: float
+
+
+def fig13_locality(
+    k_values: Sequence[float] = (0.0, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0),
+    utilization: float = 0.7,
+    num_jobs: int = 150,
+    total_slots: int = 200,
+) -> List[LocalityRow]:
+    """Centralized Hopper with data locality: gains and fraction of
+    data-local tasks as the allowance k varies (Fig. 13)."""
+    spec = WorkloadSpec(
+        profile=FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+        max_phase_tasks=200,
+        locality_machines=total_slots // 4,
+    )
+    trace = build_trace(spec)
+    srpt = run_centralized(trace, "srpt", spec, with_locality=True)
+    rows: List[LocalityRow] = []
+    for k in k_values:
+        result = run_centralized(
+            trace, "hopper", spec, with_locality=True, locality_k_percent=k
+        )
+        rows.append(
+            LocalityRow(
+                k_percent=k,
+                gain_vs_srpt=mean_reduction_percent(srpt, result),
+                locality_fraction=result.data_locality_fraction,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Headline: §1 / §7 aggregate gains
+# --------------------------------------------------------------------------
+
+def headline_gains(
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> Dict[str, float]:
+    """The paper's headline numbers: decentralized Hopper vs the best
+    decentralized baseline, and centralized Hopper vs centralized SRPT."""
+    spec = WorkloadSpec(
+        profile=SPARK_FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=0.6,
+        total_slots=total_slots,
+    )
+    trace = build_trace(spec)
+    hopper_d = run_decentralized(trace, "hopper", spec)
+    srpt_d = run_decentralized(trace, "sparrow-srpt", spec)
+
+    cspec = WorkloadSpec(
+        profile=FACEBOOK_PROFILE,
+        num_jobs=num_jobs,
+        utilization=0.7,
+        total_slots=total_slots // 2,
+        max_phase_tasks=300,
+    )
+    ctrace = build_trace(cspec)
+    hopper_c = run_centralized(ctrace, "hopper", cspec)
+    srpt_c = run_centralized(ctrace, "srpt", cspec)
+    return {
+        "decentralized_vs_sparrow_srpt": mean_reduction_percent(
+            srpt_d, hopper_d
+        ),
+        "centralized_vs_srpt": mean_reduction_percent(srpt_c, hopper_c),
+    }

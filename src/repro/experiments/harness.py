@@ -1,0 +1,199 @@
+"""Shared experiment plumbing: trace construction and simulator runners.
+
+Every figure experiment reduces to: build a trace at a target utilization,
+replay it under two or more systems, and compare matched job records. The
+runners here own the (many) constructor arguments so figure code stays
+declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.centralized.config import CentralizedConfig, SpeculationMode
+from repro.centralized.policies import (
+    CentralizedPolicy,
+    FairPolicy,
+    HopperPolicy,
+    SRPTPolicy,
+)
+from repro.centralized.simulator import CentralizedSimulator
+from repro.cluster.cluster import Cluster
+from repro.cluster.datastore import DataStore
+from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+from repro.decentralized.simulator import DecentralizedSimulator
+from repro.metrics.collector import SimulationResult
+from repro.simulation.rng import RandomSource
+from repro.speculation import make_speculation_policy
+from repro.stragglers.model import ParetoRedrawStragglerModel, StragglerModel
+from repro.workload.generator import (
+    FACEBOOK_PROFILE,
+    TraceGenerator,
+    WorkloadProfile,
+)
+from repro.workload.traces import Trace
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of an experiment workload."""
+
+    profile: WorkloadProfile = field(default_factory=lambda: FACEBOOK_PROFILE)
+    num_jobs: int = 150
+    utilization: float = 0.6
+    total_slots: int = 400
+    seed: int = 42
+    max_phase_tasks: Optional[int] = 300
+    locality_machines: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise ValueError("num_jobs must be positive")
+        if not 0.0 < self.utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1)")
+        if self.total_slots <= 0:
+            raise ValueError("total_slots must be positive")
+
+
+def build_trace(spec: WorkloadSpec) -> Trace:
+    """Generate a trace and rescale it to the spec's offered utilization."""
+    source = RandomSource(seed=spec.seed)
+    generator = TraceGenerator(
+        spec.profile,
+        random_source=source,
+        num_machines=spec.locality_machines,
+        max_phase_tasks=spec.max_phase_tasks,
+    )
+    jobs = generator.generate(num_jobs=spec.num_jobs, interarrival_mean=1.0)
+    trace = Trace(jobs=jobs)
+    return trace.rescaled_to_utilization(spec.total_slots, spec.utilization)
+
+
+def default_straggler_model(profile: WorkloadProfile) -> StragglerModel:
+    """The paper-faithful i.i.d. Pareto redraw model for this profile."""
+    return ParetoRedrawStragglerModel(
+        beta=profile.beta, scale=profile.task_scale
+    )
+
+
+def _centralized_policy(name: str, epsilon: float) -> CentralizedPolicy:
+    name = name.lower()
+    if name == "fair":
+        return FairPolicy()
+    if name == "srpt":
+        return SRPTPolicy()
+    if name == "hopper":
+        return HopperPolicy(epsilon=epsilon)
+    raise ValueError(f"unknown centralized policy: {name!r}")
+
+
+def run_centralized(
+    trace: Trace,
+    policy: str,
+    spec: WorkloadSpec,
+    speculation: str = "late",
+    epsilon: float = 0.1,
+    locality_k_percent: float = 3.0,
+    speculation_mode: Optional[SpeculationMode] = None,
+    straggler_model: Optional[StragglerModel] = None,
+    with_locality: bool = False,
+    slots_per_machine: int = 4,
+    run_seed: int = 7,
+    config: Optional[CentralizedConfig] = None,
+) -> SimulationResult:
+    """Replay ``trace`` under one centralized policy.
+
+    The trace is deep-copied first, so the same object can be replayed
+    under several systems. Baselines default to BEST_EFFORT speculation;
+    Hopper defaults to INTEGRATED.
+    """
+    policy_obj = _centralized_policy(policy, epsilon)
+    if speculation_mode is None:
+        speculation_mode = (
+            SpeculationMode.INTEGRATED
+            if policy == "hopper"
+            else SpeculationMode.BEST_EFFORT
+        )
+    num_machines = max(1, spec.total_slots // slots_per_machine)
+    cluster = Cluster(
+        num_machines=num_machines, slots_per_machine=slots_per_machine
+    )
+    datastore = None
+    if with_locality:
+        datastore = DataStore(
+            num_machines=num_machines,
+            random_source=RandomSource(seed=spec.seed + 1),
+        )
+    if config is None:
+        config = CentralizedConfig(
+            epsilon=epsilon,
+            locality_k_percent=locality_k_percent,
+            speculation_mode=speculation_mode,
+            default_beta=spec.profile.beta,
+        )
+    simulator = CentralizedSimulator(
+        cluster=cluster,
+        policy=policy_obj,
+        speculation=lambda: make_speculation_policy(speculation),
+        trace=trace.fresh_copy(),
+        straggler_model=straggler_model or default_straggler_model(spec.profile),
+        config=config,
+        datastore=datastore,
+        random_source=RandomSource(seed=run_seed),
+    )
+    return simulator.run()
+
+
+_DECENTRALIZED_SYSTEMS = {
+    "sparrow": (WorkerPolicy.FIFO, 2.0, 1.0),
+    "sparrow-srpt": (WorkerPolicy.SRPT, 2.0, 1.0),
+    "hopper": (WorkerPolicy.HOPPER, 4.0, 0.1),
+}
+
+
+def run_decentralized(
+    trace: Trace,
+    system: str,
+    spec: WorkloadSpec,
+    speculation: str = "late",
+    probe_ratio: Optional[float] = None,
+    epsilon: Optional[float] = None,
+    refusal_threshold: int = 2,
+    num_schedulers: int = 10,
+    straggler_model: Optional[StragglerModel] = None,
+    run_seed: int = 7,
+    config: Optional[DecentralizedConfig] = None,
+    until: Optional[float] = None,
+) -> SimulationResult:
+    """Replay ``trace`` under one decentralized system.
+
+    ``system`` is 'sparrow', 'sparrow-srpt' or 'hopper'; each carries the
+    paper's default probe ratio (2 for the baselines, 4 for Hopper) and
+    fairness setting, overridable per experiment.
+    """
+    try:
+        worker_policy, default_ratio, default_eps = _DECENTRALIZED_SYSTEMS[
+            system
+        ]
+    except KeyError:
+        raise ValueError(f"unknown decentralized system: {system!r}") from None
+    if config is None:
+        config = DecentralizedConfig(
+            worker_policy=worker_policy,
+            probe_ratio=probe_ratio if probe_ratio is not None else default_ratio,
+            epsilon=epsilon if epsilon is not None else default_eps,
+            refusal_threshold=refusal_threshold,
+            num_schedulers=num_schedulers,
+            default_beta=spec.profile.beta,
+        )
+    simulator = DecentralizedSimulator(
+        num_workers=spec.total_slots,
+        speculation=lambda: make_speculation_policy(speculation),
+        trace=trace.fresh_copy(),
+        straggler_model=straggler_model or default_straggler_model(spec.profile),
+        config=config,
+        random_source=RandomSource(seed=run_seed),
+        name=system,
+    )
+    return simulator.run(until=until)

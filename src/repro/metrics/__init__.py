@@ -1,0 +1,27 @@
+"""Metrics collection and cross-run analysis (gains, bins, CDFs)."""
+
+from repro.metrics.collector import JobRecord, MetricsCollector, SimulationResult
+from repro.metrics.analysis import (
+    bin_durations,
+    gain_cdf,
+    mean_duration,
+    mean_reduction_percent,
+    per_job_gains,
+    percentile,
+    reduction_by_bin,
+    slowdown_stats,
+)
+
+__all__ = [
+    "JobRecord",
+    "MetricsCollector",
+    "SimulationResult",
+    "mean_duration",
+    "percentile",
+    "mean_reduction_percent",
+    "per_job_gains",
+    "gain_cdf",
+    "bin_durations",
+    "reduction_by_bin",
+    "slowdown_stats",
+]

@@ -1,0 +1,147 @@
+"""Cross-run analysis: the quantities the paper's figures report.
+
+All "gains" follow the paper's convention: *reduction (%) in average job
+duration* of the candidate scheduler versus a baseline, with jobs matched
+by id (both runs replay the same trace).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.collector import JobRecord, SimulationResult
+from repro.workload.generator import JOB_SIZE_BINS
+
+
+def mean_duration(records: Sequence[JobRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.duration for r in records) / len(records)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-quantile (0..1) with linear interpolation."""
+    if not values:
+        raise ValueError("empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def mean_reduction_percent(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> float:
+    """Reduction (%) in *average* job duration vs the baseline."""
+    base = baseline.mean_job_duration
+    cand = candidate.mean_job_duration
+    if base <= 0:
+        return 0.0
+    return 100.0 * (base - cand) / base
+
+
+def per_job_gains(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> Dict[int, float]:
+    """Per-job reduction (%) in duration, matched by job id."""
+    base_by_id = baseline.job_by_id()
+    gains: Dict[int, float] = {}
+    for record in candidate.jobs:
+        base = base_by_id.get(record.job_id)
+        if base is None or base.duration <= 0:
+            continue
+        gains[record.job_id] = (
+            100.0 * (base.duration - record.duration) / base.duration
+        )
+    return gains
+
+
+def gain_cdf(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> List[Tuple[float, float]]:
+    """CDF of per-job gains as (gain %, cumulative fraction) pairs
+    (Fig. 8a)."""
+    gains = sorted(per_job_gains(baseline, candidate).values())
+    n = len(gains)
+    return [(g, (i + 1) / n) for i, g in enumerate(gains)]
+
+
+def bin_durations(
+    result: SimulationResult,
+) -> Dict[int, List[JobRecord]]:
+    """Group job records by the paper's size bins."""
+    bins: Dict[int, List[JobRecord]] = {i: [] for i in range(len(JOB_SIZE_BINS))}
+    for record in result.jobs:
+        bins[record.size_bin].append(record)
+    return bins
+
+
+def reduction_by_bin(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> Dict[int, float]:
+    """Reduction (%) in average duration per job-size bin (Fig. 7)."""
+    base_bins = bin_durations(baseline)
+    cand_bins = bin_durations(candidate)
+    out: Dict[int, float] = {}
+    for index in base_bins:
+        base = mean_duration(base_bins[index])
+        cand = mean_duration(cand_bins[index])
+        if base > 0 and cand_bins[index]:
+            out[index] = 100.0 * (base - cand) / base
+    return out
+
+
+def reduction_by_dag_length(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> Dict[int, float]:
+    """Reduction (%) in average duration grouped by DAG length (Fig. 8b,
+    Fig. 12b)."""
+    base_groups: Dict[int, List[JobRecord]] = {}
+    cand_groups: Dict[int, List[JobRecord]] = {}
+    for r in baseline.jobs:
+        base_groups.setdefault(r.dag_length, []).append(r)
+    for r in candidate.jobs:
+        cand_groups.setdefault(r.dag_length, []).append(r)
+    out: Dict[int, float] = {}
+    for length, base_records in base_groups.items():
+        cand_records = cand_groups.get(length)
+        if not cand_records:
+            continue
+        base = mean_duration(base_records)
+        cand = mean_duration(cand_records)
+        if base > 0:
+            out[length] = 100.0 * (base - cand) / base
+    return out
+
+
+def slowdown_stats(
+    fair: SimulationResult, candidate: SimulationResult
+) -> Tuple[float, float, float]:
+    """(fraction of jobs slowed, mean slowdown % of slowed jobs, worst
+    slowdown %) versus a perfectly fair run (Fig. 10b/10c)."""
+    fair_by_id = fair.job_by_id()
+    slowdowns: List[float] = []
+    matched = 0
+    for record in candidate.jobs:
+        base = fair_by_id.get(record.job_id)
+        if base is None or base.duration <= 0:
+            continue
+        matched += 1
+        change = 100.0 * (record.duration - base.duration) / base.duration
+        if change > 1e-9:
+            slowdowns.append(change)
+    if matched == 0:
+        return (0.0, 0.0, 0.0)
+    if not slowdowns:
+        return (0.0, 0.0, 0.0)
+    return (
+        len(slowdowns) / matched,
+        sum(slowdowns) / len(slowdowns),
+        max(slowdowns),
+    )

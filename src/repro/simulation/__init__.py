@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate.
+
+The entire reproduction — centralized and decentralized scheduling, task
+execution, straggler races, probe/response messaging — runs on top of the
+small event engine in this package.
+"""
+
+from repro.simulation.engine import EventHandle, Simulator
+from repro.simulation.rng import RandomSource
+
+__all__ = ["EventHandle", "Simulator", "RandomSource"]

@@ -1,0 +1,36 @@
+"""Straggler-mitigation (speculation) algorithms: LATE, Mantri, GRASS."""
+
+from repro.speculation.base import (
+    JobExecutionView,
+    SpeculationPolicy,
+    SpeculationRequest,
+)
+from repro.speculation.late import LATE
+from repro.speculation.mantri import Mantri
+from repro.speculation.grass import GRASS
+from repro.speculation.none import NoSpeculation
+
+__all__ = [
+    "JobExecutionView",
+    "SpeculationPolicy",
+    "SpeculationRequest",
+    "LATE",
+    "Mantri",
+    "GRASS",
+    "NoSpeculation",
+]
+
+
+def make_speculation_policy(name: str, **kwargs) -> SpeculationPolicy:
+    """Factory: build a speculation policy by name ('late', 'mantri',
+    'grass', 'none')."""
+    name = name.lower()
+    if name == "late":
+        return LATE(**kwargs)
+    if name == "mantri":
+        return Mantri(**kwargs)
+    if name == "grass":
+        return GRASS(**kwargs)
+    if name in ("none", "off"):
+        return NoSpeculation()
+    raise ValueError(f"unknown speculation policy: {name!r}")

@@ -1,0 +1,119 @@
+"""Common interface for speculation policies.
+
+A speculation policy inspects one job's running copies (progress, elapsed
+time) and proposes *speculation candidates*: tasks for which launching an
+extra copy is expected to help, ordered by expected benefit. The scheduler
+— not the policy — decides whether slots are actually granted; that
+separation is exactly the coordination gap the paper closes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.stragglers.progress import TaskCopy
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+
+@dataclass
+class SpeculationRequest:
+    """A proposal to launch one extra copy of ``task``.
+
+    ``expected_new_duration`` is the policy's tnew estimate and
+    ``expected_benefit`` its trem - tnew (larger = more urgent).
+    """
+
+    task: Task
+    expected_new_duration: float
+    expected_benefit: float
+
+
+@dataclass
+class JobExecutionView:
+    """What a speculation policy may observe about one job.
+
+    Mirrors what real frameworks expose: per-copy progress, completed task
+    durations (for estimating the duration of a fresh copy) — nothing
+    about other jobs.
+
+    ``copies_by_task`` holds only *live* copies; finished and killed
+    copies are pruned via :meth:`remove_copy` so that scans stay
+    proportional to the number of currently running copies.
+    """
+
+    job: Job
+    copies_by_task: Dict[int, List[TaskCopy]] = field(default_factory=dict)
+    completed_durations: List[float] = field(default_factory=list)
+    attempt_counts: Dict[int, int] = field(default_factory=dict)
+
+    def register_copy(self, copy: TaskCopy) -> None:
+        """Track a newly launched copy."""
+        task_id = copy.task.task_id
+        self.copies_by_task.setdefault(task_id, []).append(copy)
+        self.attempt_counts[task_id] = self.attempt_counts.get(task_id, 0) + 1
+
+    def remove_copy(self, copy: TaskCopy) -> None:
+        """Stop tracking a finished or killed copy."""
+        task_id = copy.task.task_id
+        live = self.copies_by_task.get(task_id)
+        if not live:
+            return
+        try:
+            live.remove(copy)
+        except ValueError:
+            return
+        if not live:
+            del self.copies_by_task[task_id]
+
+    def attempts(self, task: Task) -> int:
+        """Total copies ever launched for ``task``."""
+        return self.attempt_counts.get(task.task_id, 0)
+
+    def running_copies(self) -> List[TaskCopy]:
+        return [c for copies in self.copies_by_task.values() for c in copies]
+
+    def copies_of(self, task: Task) -> List[TaskCopy]:
+        return list(self.copies_by_task.get(task.task_id, ()))
+
+    def running_unfinished_tasks(self) -> List[Task]:
+        """Tasks that are unfinished but have at least one running copy."""
+        tasks = []
+        for copies in self.copies_by_task.values():
+            if copies and not copies[0].task.is_finished:
+                tasks.append(copies[0].task)
+        return tasks
+
+    def estimate_new_copy_duration(self, task: Task) -> float:
+        """tnew estimate: median of this job's completed task durations,
+        falling back to the task's nominal size (frameworks use exactly
+        this "duration of a typical finished task" heuristic)."""
+        if self.completed_durations:
+            return statistics.median(self.completed_durations)
+        return task.size
+
+
+class SpeculationPolicy(ABC):
+    """Interface all speculation algorithms implement."""
+
+    #: human-readable name used in experiment reports
+    name: str = "base"
+
+    @abstractmethod
+    def speculation_candidates(
+        self, view: JobExecutionView, now: float
+    ) -> List[SpeculationRequest]:
+        """Tasks worth duplicating right now, best-benefit first."""
+
+    def max_copies_per_task(self) -> int:
+        """Upper bound on simultaneous copies of one task (original
+        included). Frameworks race exactly two copies in the common case."""
+        return 2
+
+    def _slowest_first(
+        self, requests: List[SpeculationRequest]
+    ) -> List[SpeculationRequest]:
+        return sorted(requests, key=lambda r: r.expected_benefit, reverse=True)

@@ -1,0 +1,69 @@
+"""Mantri — resource-aware outlier mitigation (Ananthanarayanan et al.,
+OSDI 2010). In operation in Microsoft Bing (§7.2).
+
+Mantri is more conservative than LATE about cluster resources: it
+duplicates a task only when doing so is expected to *save* resources, i.e.
+the remaining time of the current copy exceeds roughly twice the duration
+of a fresh copy (running both copies costs 2·tnew; letting the original
+finish costs trem). It also detects outliers early — as soon as a copy has
+produced a usable progress estimate — rather than waiting for the job's
+tail.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.speculation.base import (
+    JobExecutionView,
+    SpeculationPolicy,
+    SpeculationRequest,
+)
+
+
+class Mantri(SpeculationPolicy):
+    name = "mantri"
+
+    def __init__(
+        self,
+        detect_after: float = 0.5,
+        resource_saving_factor: float = 2.0,
+        max_simultaneous_copies: int = 2,
+    ) -> None:
+        if detect_after < 0:
+            raise ValueError("detect_after must be non-negative")
+        if resource_saving_factor < 1.0:
+            raise ValueError("resource_saving_factor must be >= 1.0")
+        if max_simultaneous_copies < 2:
+            raise ValueError("max_simultaneous_copies must be >= 2")
+        self.detect_after = detect_after
+        self.resource_saving_factor = resource_saving_factor
+        self.max_simultaneous_copies = max_simultaneous_copies
+
+    def max_copies_per_task(self) -> int:
+        return self.max_simultaneous_copies
+
+    def speculation_candidates(
+        self, view: JobExecutionView, now: float
+    ) -> List[SpeculationRequest]:
+        requests: List[SpeculationRequest] = []
+        for task in view.running_unfinished_tasks():
+            copies = view.copies_of(task)
+            if len(copies) >= self.max_copies_per_task():
+                continue
+            copy = max(copies, key=lambda c: c.duration)
+            if now - copy.start_time < self.detect_after:
+                continue
+            trem = copy.estimated_remaining(now)
+            tnew = view.estimate_new_copy_duration(task)
+            # Duplicate only when it saves resources in expectation.
+            if trem <= self.resource_saving_factor * tnew:
+                continue
+            requests.append(
+                SpeculationRequest(
+                    task=task,
+                    expected_new_duration=tnew,
+                    expected_benefit=trem - tnew,
+                )
+            )
+        return self._slowest_first(requests)

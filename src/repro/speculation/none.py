@@ -1,0 +1,27 @@
+"""A null speculation policy: never duplicate anything.
+
+Useful as an ablation — it isolates the scheduling policy's contribution
+from straggler mitigation's.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.speculation.base import (
+    JobExecutionView,
+    SpeculationPolicy,
+    SpeculationRequest,
+)
+
+
+class NoSpeculation(SpeculationPolicy):
+    name = "none"
+
+    def speculation_candidates(
+        self, view: JobExecutionView, now: float
+    ) -> List[SpeculationRequest]:
+        return []
+
+    def max_copies_per_task(self) -> int:
+        return 1

@@ -1,0 +1,19 @@
+"""Straggler injection and task-copy progress tracking."""
+
+from repro.stragglers.model import (
+    MachineCorrelatedStragglerModel,
+    NoStragglerModel,
+    ParetoRedrawStragglerModel,
+    ParetoStragglerModel,
+    StragglerModel,
+)
+from repro.stragglers.progress import TaskCopy
+
+__all__ = [
+    "StragglerModel",
+    "NoStragglerModel",
+    "ParetoStragglerModel",
+    "ParetoRedrawStragglerModel",
+    "MachineCorrelatedStragglerModel",
+    "TaskCopy",
+]

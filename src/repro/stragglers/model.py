@@ -1,0 +1,211 @@
+"""Straggler models: per-copy slowdown multipliers.
+
+The paper's stragglers occur "naturally" on its 200-node cluster, with
+frequency and magnitude consistent with prior studies: tasks can run up to
+8x slower than expected [12], and causes are hard to model (IO contention,
+maintenance, hardware). We substitute an explicit generative model:
+
+* every *copy* of a task draws an independent slowdown multiplier;
+* with probability ``straggler_prob`` the copy straggles — its multiplier
+  is drawn from a heavy (bounded Pareto) tail up to ``max_slowdown``;
+* otherwise the multiplier is a small jitter around 1.
+
+Because the draw is per *copy*, launching a speculative copy re-rolls the
+dice — exactly the race that speculation exploits. A machine-correlated
+variant makes a subset of machines persistently flaky, which is what
+blacklisting (and LATE's "avoid slow nodes") addresses; the paper notes
+machines are otherwise equally likely to cause stragglers [12].
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Set
+
+from repro.workload.distributions import (
+    BoundedParetoDistribution,
+    ParetoDistribution,
+    UniformDistribution,
+)
+from repro.workload.task import Task
+
+
+class StragglerModel(ABC):
+    """Produces a slowdown multiplier for a task copy."""
+
+    @abstractmethod
+    def slowdown(
+        self,
+        rng: random.Random,
+        task: Task,
+        machine_id: int,
+        attempt_index: int,
+    ) -> float:
+        """Multiplier (>= some small positive value) applied to task size."""
+
+
+class NoStragglerModel(StragglerModel):
+    """Ideal cluster: every copy runs at nominal speed."""
+
+    def slowdown(
+        self,
+        rng: random.Random,
+        task: Task,
+        machine_id: int,
+        attempt_index: int,
+    ) -> float:
+        return 1.0
+
+
+class ParetoRedrawStragglerModel(StragglerModel):
+    """The paper's analytical model: every copy is an i.i.d. Pareto draw.
+
+    Task *sizes* in the workload generator are already Pareto(beta) draws
+    — they are the durations of the original copies. A speculative copy
+    re-draws its duration independently from the same distribution
+    (truncated below at ``scale``), so stragglers are simply unlucky draws
+    and speculation is a race between draws. This is exactly the model
+    under which the 2/beta virtual-size threshold is derived (§4.1, [8]).
+
+    Parameters
+    ----------
+    beta:
+        Pareto tail index of task durations.
+    scale:
+        Pareto scale (minimum duration). Should match the workload
+        profile's ``task_scale``.
+    """
+
+    def __init__(self, beta: float = 1.4, scale: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.beta = beta
+        self.scale = scale
+        self._dist = ParetoDistribution(shape=beta, scale=scale)
+
+    def slowdown(
+        self,
+        rng: random.Random,
+        task: Task,
+        machine_id: int,
+        attempt_index: int,
+    ) -> float:
+        if attempt_index == 0:
+            return 1.0  # the original copy runs its drawn size
+        fresh = self._dist.sample(rng)
+        return fresh / task.size
+
+
+class ParetoStragglerModel(StragglerModel):
+    """I.i.d. per-copy stragglers with a bounded-Pareto tail.
+
+    Parameters
+    ----------
+    straggler_prob:
+        Probability a copy straggles. Facebook's cluster sees speculative
+        tasks at ~25% of all tasks; a straggle probability in the 0.1-0.25
+        range produces comparable speculation pressure.
+    tail_shape:
+        Pareto shape of the straggle multiplier (smaller = heavier).
+    min_slowdown / max_slowdown:
+        Straggle multiplier support; the paper cites up to 8x.
+    jitter:
+        Half-width of the benign jitter around 1.0 for non-stragglers.
+    """
+
+    def __init__(
+        self,
+        straggler_prob: float = 0.15,
+        tail_shape: float = 1.1,
+        min_slowdown: float = 2.0,
+        max_slowdown: float = 8.0,
+        jitter: float = 0.1,
+    ) -> None:
+        if not 0.0 <= straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if min_slowdown <= 1.0:
+            raise ValueError("min_slowdown must exceed 1.0")
+        if max_slowdown < min_slowdown:
+            raise ValueError("max_slowdown must be >= min_slowdown")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.straggler_prob = straggler_prob
+        self._tail = BoundedParetoDistribution(
+            shape=tail_shape, lo=min_slowdown, hi=max_slowdown
+        )
+        self._benign = UniformDistribution(1.0 - jitter, 1.0 + jitter)
+
+    def slowdown(
+        self,
+        rng: random.Random,
+        task: Task,
+        machine_id: int,
+        attempt_index: int,
+    ) -> float:
+        if rng.random() < self.straggler_prob:
+            return self._tail.sample(rng)
+        return self._benign.sample(rng)
+
+    def expected_slowdown(self) -> float:
+        """Analytic mean multiplier (useful for tnew estimates)."""
+        return (
+            self.straggler_prob * self._tail.mean()
+            + (1.0 - self.straggler_prob) * self._benign.mean()
+        )
+
+
+class MachineCorrelatedStragglerModel(StragglerModel):
+    """A fraction of machines is persistently flaky.
+
+    Copies on flaky machines straggle with elevated probability. This is
+    the regime where blacklisting helps and where LATE's "schedule the
+    speculative copy on a fast node" matters.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        flaky_fraction: float = 0.1,
+        flaky_straggler_prob: float = 0.6,
+        base_straggler_prob: float = 0.05,
+        tail_shape: float = 1.1,
+        min_slowdown: float = 2.0,
+        max_slowdown: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= flaky_fraction <= 1.0:
+            raise ValueError("flaky_fraction must be in [0, 1]")
+        self.num_machines = num_machines
+        rng = random.Random(seed)
+        num_flaky = int(round(flaky_fraction * num_machines))
+        self.flaky_machines: Set[int] = set(
+            rng.sample(range(num_machines), num_flaky)
+        )
+        self._flaky = ParetoStragglerModel(
+            straggler_prob=flaky_straggler_prob,
+            tail_shape=tail_shape,
+            min_slowdown=min_slowdown,
+            max_slowdown=max_slowdown,
+        )
+        self._base = ParetoStragglerModel(
+            straggler_prob=base_straggler_prob,
+            tail_shape=tail_shape,
+            min_slowdown=min_slowdown,
+            max_slowdown=max_slowdown,
+        )
+
+    def is_flaky(self, machine_id: int) -> bool:
+        return machine_id in self.flaky_machines
+
+    def slowdown(
+        self,
+        rng: random.Random,
+        task: Task,
+        machine_id: int,
+        attempt_index: int,
+    ) -> float:
+        model = self._flaky if machine_id in self.flaky_machines else self._base
+        return model.slowdown(rng, task, machine_id, attempt_index)

@@ -1,0 +1,231 @@
+"""Probability distributions used by the workload and straggler models.
+
+The paper's analysis leans on heavy-tailed Pareto task durations with tail
+index ``1 < beta < 2`` (§4.1); job sizes are heavy-tailed as well (§7.1).
+All distributions sample from an explicit :class:`random.Random` stream so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+
+class Distribution(ABC):
+    """A one-dimensional distribution with explicit-RNG sampling."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value using ``rng``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic (or empirical) mean of the distribution."""
+
+    def sample_many(self, rng: random.Random, n: int) -> List[float]:
+        """Draw ``n`` values."""
+        return [self.sample(rng) for _ in range(n)]
+
+
+class ConstantDistribution(Distribution):
+    """Degenerate distribution: always ``value``."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("constant must be non-negative")
+        self.value = float(value)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantDistribution({self.value})"
+
+
+class UniformDistribution(Distribution):
+    """Uniform on ``[lo, hi]``."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if hi < lo:
+            raise ValueError("hi must be >= lo")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.lo, self.hi)
+
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDistribution({self.lo}, {self.hi})"
+
+
+class ExponentialDistribution(Distribution):
+    """Exponential with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"ExponentialDistribution(mean={self._mean})"
+
+
+class ParetoDistribution(Distribution):
+    """Pareto with shape ``beta`` and scale ``xm``: P(X > x) = (xm/x)^beta.
+
+    This is the paper's task-duration model; ``beta`` (1 < beta < 2 in the
+    Facebook/Bing traces) controls how damaging stragglers are: smaller
+    ``beta`` means heavier tails.
+    """
+
+    def __init__(self, shape: float, scale: float = 1.0) -> None:
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def sample(self, rng: random.Random) -> float:
+        # Inverse-CDF: x = xm * U^(-1/beta)
+        u = 1.0 - rng.random()  # avoid 0
+        return self.scale * u ** (-1.0 / self.shape)
+
+    def mean(self) -> float:
+        if self.shape <= 1.0:
+            return math.inf
+        return self.shape * self.scale / (self.shape - 1.0)
+
+    def ccdf(self, x: float) -> float:
+        """P(X > x)."""
+        if x <= self.scale:
+            return 1.0
+        return (self.scale / x) ** self.shape
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at probability ``q``."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError("q must be in [0, 1)")
+        return self.scale * (1.0 - q) ** (-1.0 / self.shape)
+
+    def __repr__(self) -> str:
+        return f"ParetoDistribution(shape={self.shape}, scale={self.scale})"
+
+
+class BoundedParetoDistribution(Distribution):
+    """Pareto truncated to ``[lo, hi]`` (finite mean even for beta <= 1)."""
+
+    def __init__(self, shape: float, lo: float, hi: float) -> None:
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if not 0 < lo < hi:
+            raise ValueError("need 0 < lo < hi")
+        self.shape = float(shape)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def sample(self, rng: random.Random) -> float:
+        # Inverse-CDF of the truncated Pareto.
+        a, l, h = self.shape, self.lo, self.hi
+        u = rng.random()
+        return (l**-a - u * (l**-a - h**-a)) ** (-1.0 / a)
+
+    def mean(self) -> float:
+        a, l, h = self.shape, self.lo, self.hi
+        if abs(a - 1.0) < 1e-12:
+            return math.log(h / l) / (1.0 / l - 1.0 / h)
+        num = a / (a - 1.0) * (l ** (1 - a) - h ** (1 - a))
+        den = l**-a - h**-a
+        return num / den
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedParetoDistribution(shape={self.shape}, "
+            f"lo={self.lo}, hi={self.hi})"
+        )
+
+
+class LogNormalDistribution(Distribution):
+    """Log-normal with parameters ``mu`` and ``sigma`` of the underlying normal."""
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormalDistribution(mu={self.mu}, sigma={self.sigma})"
+
+
+class EmpiricalDistribution(Distribution):
+    """Resamples uniformly from observed values."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        if not values:
+            raise ValueError("values must be non-empty")
+        self.values = [float(v) for v in values]
+        self._mean = sum(self.values) / len(self.values)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choice(self.values)
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"EmpiricalDistribution(n={len(self.values)})"
+
+
+class DiscreteDistribution(Distribution):
+    """Weighted choice over ``(value, weight)`` pairs."""
+
+    def __init__(self, pairs: Sequence[Tuple[float, float]]) -> None:
+        if not pairs:
+            raise ValueError("pairs must be non-empty")
+        total = float(sum(w for _, w in pairs))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.values = [float(v) for v, _ in pairs]
+        self._cum: List[float] = []
+        acc = 0.0
+        for _, w in pairs:
+            if w < 0:
+                raise ValueError("weights must be non-negative")
+            acc += w / total
+            self._cum.append(acc)
+        self._cum[-1] = 1.0
+        self._mean = sum(v * w for v, w in pairs) / total
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        idx = bisect.bisect_left(self._cum, u)
+        return self.values[min(idx, len(self.values) - 1)]
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"DiscreteDistribution(n={len(self.values)})"

@@ -1,0 +1,245 @@
+"""Jobs: DAGs of phases with pipelining and the alpha weighting (§4.2).
+
+The job object is shared by both the centralized and decentralized
+simulators. It exposes:
+
+* ``runnable_tasks()`` — tasks whose phase is past the pipelining
+  slow-start threshold and which have not finished;
+* ``remaining_tasks()`` — the paper's ``T_i(t)``;
+* ``alpha()`` — ratio of remaining downstream communication to remaining
+  upstream work, summed over running phases for bushy DAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workload.phase import Phase
+from repro.workload.task import Task
+
+
+@dataclass
+class Job:
+    """A job: a DAG of phases, each a set of parallel tasks.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id.
+    arrival_time:
+        Submission time.
+    phases:
+        Topologically ordered phases (parents precede children).
+    name:
+        Recurring-job key; jobs with the same name are assumed to be runs
+        of the same periodic script (used by the alpha estimator, §6.3).
+    weight:
+        Fair-share weight (1.0 = normal).
+    """
+
+    job_id: int
+    arrival_time: float
+    phases: List[Phase]
+    name: str = ""
+    weight: float = 1.0
+
+    finish_time: Optional[float] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("job must contain at least one phase")
+        seen = set()
+        for phase in self.phases:
+            for parent in phase.parents:
+                if parent not in seen:
+                    raise ValueError(
+                        f"phase {phase.index} references parent {parent} that "
+                        "does not precede it (phases must be topologically "
+                        "ordered)"
+                    )
+            seen.add(phase.index)
+        self._phase_by_index: Dict[int, Phase] = {p.index: p for p in self.phases}
+        if len(self._phase_by_index) != len(self.phases):
+            raise ValueError("duplicate phase indices")
+
+    # -- basic structure -------------------------------------------------------
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def dag_length(self) -> int:
+        """Length of the longest parent chain (1 for single-phase jobs)."""
+        depth: Dict[int, int] = {}
+        for phase in self.phases:  # topological order
+            if phase.parents:
+                depth[phase.index] = 1 + max(depth[p] for p in phase.parents)
+            else:
+                depth[phase.index] = 1
+        return max(depth.values())
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(p.num_tasks for p in self.phases)
+
+    def phase(self, index: int) -> Phase:
+        return self._phase_by_index[index]
+
+    def all_tasks(self) -> List[Task]:
+        return [t for p in self.phases for t in p.tasks]
+
+    # -- runtime queries -------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        return all(p.is_complete for p in self.phases)
+
+    def remaining_tasks(self) -> int:
+        """T_i(t): unfinished tasks across all phases."""
+        return sum(p.remaining_tasks for p in self.phases)
+
+    def phase_is_runnable(self, phase: Phase) -> bool:
+        """A phase may launch tasks once every parent has completed at
+        least its slow-start fraction of tasks (pipelining)."""
+        for parent_index in phase.parents:
+            parent = self._phase_by_index[parent_index]
+            if parent.completed_fraction < phase.slowstart:
+                return False
+        return True
+
+    def runnable_phases(self) -> List[Phase]:
+        return [
+            p
+            for p in self.phases
+            if not p.is_complete and self.phase_is_runnable(p)
+        ]
+
+    def runnable_tasks(self) -> List[Task]:
+        """Unfinished tasks belonging to runnable phases."""
+        return [
+            t
+            for p in self.runnable_phases()
+            for t in p.tasks
+            if not t.is_finished
+        ]
+
+    def current_phases(self) -> List[Phase]:
+        """Runnable-but-incomplete phases ("running front" of the DAG)."""
+        return self.runnable_phases()
+
+    def downstream_of(self, phase: Phase) -> List[Phase]:
+        """Phases that directly read this phase's output."""
+        return [p for p in self.phases if phase.index in p.parents]
+
+    # -- alpha (§4.2, §6.3) ----------------------------------------------------
+
+    def alpha(self, network_rate: float = 1.0) -> float:
+        """DAG weighting factor.
+
+        alpha = (remaining network transfer work of downstream phases) /
+        (remaining compute work of the currently running phases), summed
+        over the running front for bushy DAGs. ``network_rate`` converts
+        data units into time units. Returns 1.0 for single-phase jobs or
+        when the upstream front has no remaining work.
+        """
+        upstream_work = 0.0
+        downstream_comm = 0.0
+        for phase in self.current_phases():
+            upstream_work += phase.remaining_work()
+            for child in self.downstream_of(phase):
+                if not child.is_complete:
+                    downstream_comm += phase.remaining_output_data() / network_rate
+        if upstream_work <= 0.0 or downstream_comm <= 0.0:
+            return 1.0
+        return downstream_comm / upstream_work
+
+    def downstream_virtual_tasks(self, network_rate: float = 1.0) -> float:
+        """V'_i(t) proxy: remaining downstream communication expressed in
+        task-equivalents of the current front's mean task size."""
+        front = self.current_phases()
+        if not front:
+            return 0.0
+        total_tasks = sum(p.num_tasks for p in front)
+        mean_size = (
+            sum(p.mean_task_size * p.num_tasks for p in front) / total_tasks
+            if total_tasks
+            else 1.0
+        )
+        comm = sum(p.remaining_output_data() / network_rate for p in front)
+        if mean_size <= 0:
+            return 0.0
+        return comm / mean_size
+
+    def reset_runtime_state(self) -> None:
+        """Clear all runtime state so a trace can be replayed."""
+        self.finish_time = None
+        for phase in self.phases:
+            phase.reset_runtime_state()
+
+
+def make_single_phase_job(
+    job_id: int,
+    arrival_time: float,
+    task_sizes: Sequence[float],
+    name: str = "",
+    preferred: Optional[Sequence[Tuple[int, ...]]] = None,
+    task_id_start: int = 0,
+) -> Job:
+    """Convenience constructor for a single-phase job."""
+    tasks = []
+    for i, size in enumerate(task_sizes):
+        prefs: Tuple[int, ...] = ()
+        if preferred is not None:
+            prefs = tuple(preferred[i])
+        tasks.append(
+            Task(
+                task_id=task_id_start + i,
+                job_id=job_id,
+                phase_index=0,
+                size=float(size),
+                preferred_machines=prefs,
+            )
+        )
+    phase = Phase(index=0, tasks=tasks)
+    return Job(job_id=job_id, arrival_time=arrival_time, phases=[phase], name=name)
+
+
+def make_chain_job(
+    job_id: int,
+    arrival_time: float,
+    phase_task_sizes: Sequence[Sequence[float]],
+    phase_output_data: Optional[Sequence[float]] = None,
+    name: str = "",
+    slowstart: float = 0.05,
+    task_id_start: int = 0,
+) -> Job:
+    """Convenience constructor for a linear chain DAG (map → ... → reduce)."""
+    phases: List[Phase] = []
+    next_task_id = task_id_start
+    for index, sizes in enumerate(phase_task_sizes):
+        tasks = [
+            Task(
+                task_id=next_task_id + i,
+                job_id=job_id,
+                phase_index=index,
+                size=float(s),
+            )
+            for i, s in enumerate(sizes)
+        ]
+        next_task_id += len(tasks)
+        output = 0.0
+        if phase_output_data is not None and index < len(phase_output_data):
+            output = float(phase_output_data[index])
+        parents = (index - 1,) if index > 0 else ()
+        phases.append(
+            Phase(
+                index=index,
+                tasks=tasks,
+                parents=parents,
+                output_data=output,
+                slowstart=slowstart,
+            )
+        )
+    return Job(job_id=job_id, arrival_time=arrival_time, phases=phases, name=name)

@@ -1,0 +1,113 @@
+"""Phases: groups of parallel tasks inside a job's DAG.
+
+Multi-phase jobs (map → shuffle → reduce, or longer Hive/Scope chains) are
+modelled as DAGs of phases. Downstream phases *pipeline* with upstream
+ones: they become runnable once parents have completed a slow-start
+fraction of their tasks (§4.2, [6] in the paper), and their communication
+volume feeds the DAG weighting factor alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.workload.task import Task
+
+
+@dataclass
+class Phase:
+    """One phase (stage) of a job.
+
+    Attributes
+    ----------
+    index:
+        Position of this phase within the job (also its id in the DAG).
+    tasks:
+        The phase's tasks.
+    parents:
+        Indices of upstream phases this phase reads from. Empty for input
+        phases.
+    output_data:
+        Total intermediate data (arbitrary units, e.g. MB) this phase
+        produces for downstream consumers; used to compute alpha.
+    slowstart:
+        Fraction of each parent's tasks that must be finished before this
+        phase's tasks may begin (pipelining threshold).
+    """
+
+    index: int
+    tasks: List[Task]
+    parents: Tuple[int, ...] = ()
+    output_data: float = 0.0
+    slowstart: float = 0.05
+
+    _finished_count: int = field(default=0, compare=False)
+    _remaining_work: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("phase must contain at least one task")
+        if not 0.0 <= self.slowstart <= 1.0:
+            raise ValueError("slowstart must be in [0, 1]")
+        if self.output_data < 0:
+            raise ValueError("output_data must be non-negative")
+        self._total_work = sum(t.size for t in self.tasks)
+        self._remaining_work = self._total_work
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def finished_tasks(self) -> int:
+        return self._finished_count
+
+    @property
+    def remaining_tasks(self) -> int:
+        return self.num_tasks - self._finished_count
+
+    @property
+    def is_complete(self) -> bool:
+        return self._finished_count >= self.num_tasks
+
+    @property
+    def completed_fraction(self) -> float:
+        return self._finished_count / self.num_tasks
+
+    def mark_task_finished(self, task_size: float = 0.0) -> None:
+        """Record completion of one of this phase's tasks.
+
+        ``task_size`` keeps the incremental remaining-work tally exact;
+        callers that do not track sizes may omit it (remaining work then
+        degrades pro-rata)."""
+        if self._finished_count >= self.num_tasks:
+            raise RuntimeError(f"phase {self.index}: all tasks already finished")
+        self._finished_count += 1
+        if task_size > 0:
+            self._remaining_work = max(0.0, self._remaining_work - task_size)
+        else:
+            self._remaining_work = self._total_work * (
+                self.remaining_tasks / self.num_tasks
+            )
+
+    @property
+    def mean_task_size(self) -> float:
+        """Average intrinsic task size (static)."""
+        return self._total_work / self.num_tasks
+
+    def remaining_work(self) -> float:
+        """Sum of sizes of unfinished tasks (used for alpha); O(1)."""
+        return self._remaining_work
+
+    def remaining_output_data(self) -> float:
+        """Intermediate data not yet produced, pro-rated by task completion."""
+        if self.num_tasks == 0:
+            return 0.0
+        return self.output_data * (self.remaining_tasks / self.num_tasks)
+
+    def reset_runtime_state(self) -> None:
+        self._finished_count = 0
+        self._remaining_work = self._total_work
+        for task in self.tasks:
+            task.reset_runtime_state()

@@ -1,0 +1,101 @@
+"""Traces: job sequences with arrival times, plus utilization targeting.
+
+The paper speeds up trace replay to evaluate a range of average cluster
+utilizations (60%-90%, §7.1). We reproduce this by rescaling interarrival
+gaps so that the offered load ``rho = lambda * E[job work] / S`` matches a
+target.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.workload.job import Job
+
+
+def arrival_rate_for_utilization(
+    mean_job_work: float,
+    total_slots: int,
+    utilization: float,
+) -> float:
+    """Poisson arrival rate (jobs/time-unit) giving the target utilization.
+
+    ``rho = lambda * E[work] / S  =>  lambda = rho * S / E[work]``.
+    """
+    if mean_job_work <= 0:
+        raise ValueError("mean_job_work must be positive")
+    if total_slots <= 0:
+        raise ValueError("total_slots must be positive")
+    if not 0.0 < utilization < 1.0:
+        raise ValueError("utilization must be in (0, 1)")
+    return utilization * total_slots / mean_job_work
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of jobs to replay."""
+
+    jobs: List[Job]
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda j: j.arrival_time)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(j.num_tasks for j in self.jobs)
+
+    @property
+    def total_work(self) -> float:
+        return sum(t.size for j in self.jobs for t in j.all_tasks())
+
+    @property
+    def makespan_lower_bound(self) -> float:
+        """Total work / infinite parallelism is 0; this is last arrival."""
+        return self.jobs[-1].arrival_time if self.jobs else 0.0
+
+    def offered_utilization(self, total_slots: int) -> float:
+        """Empirical offered load over the arrival window."""
+        if not self.jobs or total_slots <= 0:
+            return 0.0
+        span = self.jobs[-1].arrival_time - self.jobs[0].arrival_time
+        if span <= 0:
+            return float("inf")
+        return self.total_work / (span * total_slots)
+
+    def rescaled_to_utilization(self, total_slots: int, utilization: float) -> "Trace":
+        """Return a copy with interarrival gaps scaled to the target load.
+
+        Mirrors the paper's "speed-up the trace appropriately" (§7.1).
+        """
+        current = self.offered_utilization(total_slots)
+        if current in (0.0, float("inf")):
+            raise ValueError("trace has no arrival span to rescale")
+        factor = current / utilization
+        jobs = copy.deepcopy(self.jobs)
+        base = jobs[0].arrival_time
+        for job in jobs:
+            job.arrival_time = base + (job.arrival_time - base) * factor
+        return Trace(jobs=jobs)
+
+    def fresh_copy(self) -> "Trace":
+        """Deep copy with runtime state cleared — safe to replay."""
+        jobs = copy.deepcopy(self.jobs)
+        for job in jobs:
+            job.reset_runtime_state()
+        return Trace(jobs=jobs)
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Interleave several traces by arrival time."""
+    all_jobs: List[Job] = []
+    for trace in traces:
+        all_jobs.extend(trace.jobs)
+    return Trace(jobs=all_jobs)

@@ -1,0 +1,319 @@
+"""Tests for virtual sizes and the Hopper/SRPT/Fair allocation rules,
+including property-based invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    JobAllocationState,
+    fair_allocation,
+    hopper_allocation,
+    is_capacity_constrained,
+    srpt_allocation,
+)
+from repro.core.fairness import fairness_floors, slowdown_vs_fair
+from repro.core.locality import locality_window, pick_job_with_locality
+from repro.core.virtual_size import threshold_multiplier, virtual_size
+
+
+def _job(job_id, remaining, beta=1.4, alpha=1.0, weight=1.0):
+    return JobAllocationState(
+        job_id=job_id,
+        virtual_size=virtual_size(remaining, beta, alpha),
+        remaining_tasks=remaining,
+        weight=weight,
+    )
+
+
+# -- virtual size ---------------------------------------------------------------
+
+def test_threshold_multiplier_formula():
+    assert threshold_multiplier(1.4) == pytest.approx(2.0 / 1.4)
+    assert threshold_multiplier(1.6) == pytest.approx(1.25)
+    assert threshold_multiplier(2.5) == 1.0  # clamped below at 1
+
+
+def test_threshold_multiplier_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        threshold_multiplier(0.0)
+
+
+def test_virtual_size_scales_remaining_tasks():
+    assert virtual_size(10, beta=1.4) == pytest.approx(10 * 2.0 / 1.4)
+    assert virtual_size(0, beta=1.4) == 0.0
+
+
+def test_virtual_size_alpha_sqrt_scaling():
+    base = virtual_size(10, beta=1.4, alpha=1.0)
+    scaled = virtual_size(10, beta=1.4, alpha=4.0)
+    assert scaled == pytest.approx(2.0 * base)
+
+
+def test_virtual_size_never_below_remaining():
+    assert virtual_size(10, beta=1.4, alpha=0.01) == 10.0
+
+
+def test_virtual_size_validation():
+    with pytest.raises(ValueError):
+        virtual_size(-1, 1.4)
+    with pytest.raises(ValueError):
+        virtual_size(1, 1.4, alpha=0.0)
+
+
+# -- hopper allocation -----------------------------------------------------------
+
+def test_capacity_constrained_predicate():
+    jobs = [_job(0, 10), _job(1, 10)]  # sum V ~ 28.6
+    assert is_capacity_constrained(jobs, 20)
+    assert not is_capacity_constrained(jobs, 40)
+
+
+def test_guideline2_smallest_jobs_get_virtual_size():
+    jobs = [_job(0, 4), _job(1, 100)]  # V = 5.7, 142.9
+    alloc = hopper_allocation(jobs, total_slots=20, epsilon=1.0)
+    assert alloc[0] == int(virtual_size(4, 1.4))  # 5 slots: speculation room
+    assert alloc[0] + alloc[1] <= 20
+    assert alloc[1] == 20 - alloc[0]
+
+
+def test_guideline2_serves_in_ascending_order_until_exhausted():
+    jobs = [_job(i, 10) for i in range(5)]  # each V ~ 14.3
+    alloc = hopper_allocation(jobs, total_slots=30, epsilon=1.0)
+    # two smallest ids fully served, remainder gets leftovers
+    assert alloc[0] == 14
+    assert alloc[1] == 14
+    assert sum(alloc.values()) <= 30
+
+
+def test_guideline3_proportional_to_virtual_sizes():
+    jobs = [_job(0, 10), _job(1, 30)]
+    alloc = hopper_allocation(jobs, total_slots=100, epsilon=1.0)
+    # proportional 25/75 within rounding and caps
+    assert alloc[0] >= 20
+    assert alloc[1] >= alloc[0] * 2
+    assert sum(alloc.values()) <= 100
+
+
+def test_guideline3_respects_caps():
+    jobs = [_job(0, 2), _job(1, 2)]
+    alloc = hopper_allocation(jobs, total_slots=100, epsilon=1.0)
+    for state in jobs:
+        assert alloc[state.job_id] <= state.cap
+
+
+def test_epsilon_fairness_floor_is_respected():
+    jobs = [_job(0, 2), _job(1, 500)]
+    alloc = hopper_allocation(jobs, total_slots=100, epsilon=0.2)
+    floor = int((1 - 0.2) * 100 / 2)
+    assert alloc[1] >= min(floor, jobs[1].cap)
+
+
+def test_epsilon_zero_gives_equal_floors():
+    jobs = [_job(0, 50), _job(1, 50), _job(2, 50), _job(3, 50)]
+    alloc = hopper_allocation(jobs, total_slots=100, epsilon=0.0)
+    assert all(v == 25 for v in alloc.values())
+
+
+def test_empty_and_zero_slot_cases():
+    assert hopper_allocation([], 10) == {}
+    jobs = [_job(0, 5)]
+    assert hopper_allocation(jobs, 0) == {0: 0}
+
+
+def test_jobs_with_no_remaining_tasks_are_dropped():
+    jobs = [_job(0, 0), _job(1, 5)]
+    alloc = hopper_allocation(jobs, 10, epsilon=1.0)
+    assert 0 not in alloc
+
+
+def test_priority_size_overrides_ordering():
+    small_v_big_priority = JobAllocationState(
+        job_id=0, virtual_size=5.0, remaining_tasks=4, priority_size=100.0
+    )
+    big_v = JobAllocationState(
+        job_id=1, virtual_size=50.0, remaining_tasks=40
+    )
+    alloc = hopper_allocation(
+        [small_v_big_priority, big_v], total_slots=30, epsilon=1.0
+    )
+    # job 1 ordered first now (priority 50 < 100)
+    assert alloc[1] == 30 or alloc[1] >= alloc[0]
+
+
+# -- srpt / fair -----------------------------------------------------------------
+
+def test_srpt_serves_smallest_first():
+    jobs = [_job(0, 10), _job(1, 3), _job(2, 50)]
+    alloc = srpt_allocation(jobs, total_slots=15, best_effort_speculation=False)
+    assert alloc[1] == 3
+    assert alloc[0] == 10
+    assert alloc[2] == 2
+
+
+def test_srpt_best_effort_gives_leftovers_for_speculation():
+    jobs = [_job(0, 4)]
+    alloc = srpt_allocation(jobs, total_slots=10, best_effort_speculation=True)
+    assert alloc[0] > 4  # leftover slots available for speculative copies
+    assert alloc[0] <= jobs[0].cap
+
+
+def test_fair_splits_equally():
+    jobs = [_job(0, 100), _job(1, 100)]
+    alloc = fair_allocation(jobs, total_slots=50)
+    assert alloc[0] == 25 and alloc[1] == 25
+
+
+def test_fair_respects_weights():
+    jobs = [_job(0, 100, weight=3.0), _job(1, 100, weight=1.0)]
+    alloc = fair_allocation(jobs, total_slots=40)
+    assert alloc[0] == pytest.approx(30, abs=1)
+    assert alloc[1] == pytest.approx(10, abs=1)
+
+
+def test_fair_redistributes_capped_share():
+    jobs = [_job(0, 1), _job(1, 100)]
+    alloc = fair_allocation(jobs, total_slots=50)
+    assert alloc[0] == jobs[0].cap  # water-filled to its cap
+    assert alloc[1] == 50 - alloc[0]
+
+
+def test_allocation_validation():
+    with pytest.raises(ValueError):
+        hopper_allocation([_job(0, 1)], -1)
+    with pytest.raises(ValueError):
+        srpt_allocation([_job(0, 1)], -1)
+    with pytest.raises(ValueError):
+        fair_allocation([_job(0, 1)], -1)
+    with pytest.raises(ValueError):
+        JobAllocationState(job_id=0, virtual_size=-1.0, remaining_tasks=1)
+    with pytest.raises(ValueError):
+        JobAllocationState(job_id=0, virtual_size=1.0, remaining_tasks=1, weight=0)
+
+
+# -- fairness helpers -------------------------------------------------------------
+
+def test_fairness_floors_sum_within_budget():
+    jobs = [_job(i, 10) for i in range(7)]
+    floors = fairness_floors(jobs, total_slots=100, epsilon=0.1)
+    assert sum(floors.values()) <= 100
+    assert all(f == int((0.9 * 100) / 7) for f in floors.values())
+
+
+def test_fairness_floors_epsilon_one_is_zero():
+    jobs = [_job(0, 10)]
+    assert fairness_floors(jobs, 100, 1.0) == {0: 0}
+
+
+def test_fairness_floor_validation():
+    with pytest.raises(ValueError):
+        fairness_floors([_job(0, 1)], 10, epsilon=1.5)
+
+
+def test_slowdown_vs_fair():
+    assert slowdown_vs_fair(110.0, 100.0) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        slowdown_vs_fair(1.0, 0.0)
+
+
+# -- locality ---------------------------------------------------------------------
+
+def test_locality_window_sizes():
+    assert locality_window(100, 5.0) == 5
+    assert locality_window(10, 0.0) == 1
+    assert locality_window(0, 5.0) == 0
+    with pytest.raises(ValueError):
+        locality_window(10, 200.0)
+
+
+def test_pick_job_with_locality_prefers_local_within_window():
+    jobs = ["a", "b", "c", "d"]
+    picked = pick_job_with_locality(jobs, 50.0, lambda j: j == "b")
+    assert picked == "b"
+
+
+def test_pick_job_with_locality_falls_back_to_smallest():
+    jobs = ["a", "b", "c", "d"]
+    picked = pick_job_with_locality(jobs, 50.0, lambda j: False)
+    assert picked == "a"
+
+
+def test_pick_job_with_locality_ignores_local_outside_window():
+    jobs = ["a", "b", "c", "d"]
+    picked = pick_job_with_locality(jobs, 25.0, lambda j: j == "d")
+    assert picked == "a"
+
+
+def test_pick_job_empty():
+    assert pick_job_with_locality([], 5.0, lambda j: True) is None
+
+
+# -- property-based invariants ------------------------------------------------------
+
+job_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=500),  # remaining
+        st.floats(min_value=1.05, max_value=2.0),  # beta
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(jobs=job_lists, slots=st.integers(min_value=0, max_value=2000),
+       epsilon=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_hopper_allocation_invariants(jobs, slots, epsilon):
+    states = [_job(i, r, beta=b) for i, (r, b) in enumerate(jobs)]
+    alloc = hopper_allocation(states, slots, epsilon=epsilon)
+    # never exceeds capacity
+    assert sum(alloc.values()) <= slots
+    for state in states:
+        # non-negative and capped
+        assert 0 <= alloc[state.job_id] <= state.cap
+        # fairness floor honoured (cap permitting)
+        floor = int((1 - epsilon) * slots * state.weight
+                    / sum(s.weight for s in states))
+        assert alloc[state.job_id] >= min(floor, state.cap)
+
+
+@given(jobs=job_lists, slots=st.integers(min_value=1, max_value=2000))
+@settings(max_examples=200, deadline=None)
+def test_hopper_uses_all_slots_when_demand_exists(jobs, slots):
+    states = [_job(i, r, beta=b) for i, (r, b) in enumerate(jobs)]
+    alloc = hopper_allocation(states, slots, epsilon=1.0)
+    total_cap = sum(s.cap for s in states)
+    # Work conservation at the allocation level: all slots are handed out
+    # unless every job is capped.
+    assert sum(alloc.values()) == min(slots, total_cap)
+
+
+@given(jobs=job_lists, slots=st.integers(min_value=0, max_value=2000))
+@settings(max_examples=200, deadline=None)
+def test_srpt_allocation_invariants(jobs, slots):
+    states = [_job(i, r, beta=b) for i, (r, b) in enumerate(jobs)]
+    alloc = srpt_allocation(states, slots)
+    assert sum(alloc.values()) <= slots
+    # SRPT property: if any job got fewer originals than its remaining
+    # tasks, then no strictly larger job received more than its size.
+    by_remaining = sorted(states, key=lambda s: (s.remaining_tasks, s.job_id))
+    exhausted = False
+    for state in by_remaining:
+        if alloc[state.job_id] < state.remaining_tasks:
+            exhausted = True
+        elif exhausted:
+            # a later (larger) job got its full remaining while an earlier
+            # one did not -> violation unless leftovers (best effort) flow
+            assert alloc[state.job_id] <= state.cap
+
+
+@given(jobs=job_lists, slots=st.integers(min_value=0, max_value=500))
+@settings(max_examples=200, deadline=None)
+def test_fair_allocation_invariants(jobs, slots):
+    states = [_job(i, r, beta=b) for i, (r, b) in enumerate(jobs)]
+    alloc = fair_allocation(states, slots)
+    assert sum(alloc.values()) <= slots
+    for state in states:
+        assert 0 <= alloc[state.job_id] <= state.cap

@@ -1,0 +1,226 @@
+"""Integration tests for the decentralized (Sparrow-style) simulator."""
+
+import pytest
+
+from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+from repro.decentralized.simulator import DecentralizedSimulator
+from repro.simulation.rng import RandomSource
+from repro.speculation import LATE, NoSpeculation
+from repro.stragglers.model import NoStragglerModel, ParetoRedrawStragglerModel
+from repro.workload.generator import SPARK_FACEBOOK_PROFILE, TraceGenerator
+from repro.workload.job import make_chain_job, make_single_phase_job
+from repro.workload.traces import Trace
+
+
+def _config(**kwargs):
+    defaults = dict(
+        num_schedulers=3,
+        probe_ratio=4.0,
+        worker_policy=WorkerPolicy.HOPPER,
+        epsilon=1.0,
+        message_delay=0.0005,
+    )
+    defaults.update(kwargs)
+    return DecentralizedConfig(**defaults)
+
+
+def _simulate(trace, workers=20, config=None, straggler=None, spec=None, seed=7):
+    sim = DecentralizedSimulator(
+        num_workers=workers,
+        speculation=spec or (lambda: LATE()),
+        trace=trace,
+        straggler_model=straggler or NoStragglerModel(),
+        config=config or _config(),
+        random_source=RandomSource(seed=seed),
+    )
+    return sim, sim.run(until=1_000_000)
+
+
+def _trace(num_jobs=15, seed=0, max_tasks=30, interarrival=1.0):
+    gen = TraceGenerator(
+        SPARK_FACEBOOK_PROFILE,
+        random_source=RandomSource(seed=seed),
+        max_phase_tasks=max_tasks,
+    )
+    return Trace(jobs=gen.generate(num_jobs, interarrival_mean=interarrival))
+
+
+def test_single_job_completes():
+    job = make_single_phase_job(0, 0.0, [1.0] * 8)
+    sim, result = _simulate(Trace(jobs=[job]), workers=8)
+    assert result.num_jobs == 1
+    # duration ~ 1 plus a few message RTTs
+    assert result.jobs[0].duration == pytest.approx(1.0, abs=0.1)
+
+
+@pytest.mark.parametrize(
+    "policy", [WorkerPolicy.FIFO, WorkerPolicy.SRPT, WorkerPolicy.HOPPER]
+)
+def test_all_jobs_complete_under_every_policy(policy):
+    trace = _trace(num_jobs=12)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=30,
+        config=_config(worker_policy=policy),
+        straggler=ParetoRedrawStragglerModel(beta=1.4),
+    )
+    assert result.num_jobs == 12
+
+
+def test_workers_end_idle():
+    trace = _trace(num_jobs=10)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=25,
+        straggler=ParetoRedrawStragglerModel(beta=1.4),
+    )
+    assert result.num_jobs == 10
+    for worker in sim.workers:
+        assert worker.busy_slots == 0
+        assert worker.pending_episodes == 0
+
+
+def test_occupied_accounting_balances():
+    trace = _trace(num_jobs=10)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=25,
+        straggler=ParetoRedrawStragglerModel(beta=1.4),
+    )
+    for scheduler in sim.schedulers:
+        assert scheduler.jobs == {}
+
+
+def test_messages_are_counted():
+    trace = _trace(num_jobs=5)
+    sim, result = _simulate(trace.fresh_copy(), workers=20)
+    # at least probe_ratio messages per task were sent
+    assert result.messages_sent >= 4 * trace.total_tasks * 0.5
+
+
+def test_probe_ratio_bounds_queue_growth():
+    trace = _trace(num_jobs=5)
+    config = _config(probe_ratio=2.0, max_probes_per_job=50)
+    sim, result = _simulate(trace.fresh_copy(), workers=20, config=config)
+    assert result.num_jobs == 5
+
+
+def test_speculation_happens_with_stragglers():
+    trace = _trace(num_jobs=15, max_tasks=40)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=50,
+        straggler=ParetoRedrawStragglerModel(beta=1.2),
+    )
+    assert result.speculative_copies > 0
+    assert result.speculative_wins > 0
+
+
+def test_no_speculation_policy_never_duplicates():
+    trace = _trace(num_jobs=10)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=30,
+        spec=lambda: NoSpeculation(),
+        straggler=ParetoRedrawStragglerModel(beta=1.3),
+    )
+    assert result.speculative_copies == 0
+    assert result.num_jobs == 10
+
+
+def test_speculation_improves_completion_with_heavy_tails():
+    trace = _trace(num_jobs=15, max_tasks=40)
+    _, with_spec = _simulate(
+        trace.fresh_copy(),
+        workers=60,
+        straggler=ParetoRedrawStragglerModel(beta=1.2),
+    )
+    _, without = _simulate(
+        trace.fresh_copy(),
+        workers=60,
+        spec=lambda: NoSpeculation(),
+        straggler=ParetoRedrawStragglerModel(beta=1.2),
+    )
+    assert with_spec.mean_job_duration < without.mean_job_duration
+
+
+def test_dag_jobs_complete():
+    job = make_chain_job(0, 0.0, [[1.0] * 6, [1.0] * 3], [5.0, 0.0])
+    sim, result = _simulate(Trace(jobs=[job]), workers=12)
+    assert result.num_jobs == 1
+
+
+def test_refusals_record_guideline_decisions():
+    trace = _trace(num_jobs=15, interarrival=0.2)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=15,  # scarce: force contention
+        config=_config(refusal_threshold=2),
+        straggler=ParetoRedrawStragglerModel(beta=1.4),
+    )
+    assert result.guideline2_decisions + result.guideline3_decisions >= 0
+    assert result.num_jobs == 15
+
+
+def test_fifo_policy_is_sparrow_like():
+    # FIFO worker policy must also drain everything.
+    trace = _trace(num_jobs=10, interarrival=0.2)
+    sim, result = _simulate(
+        trace.fresh_copy(),
+        workers=10,
+        config=_config(worker_policy=WorkerPolicy.FIFO, probe_ratio=2.0),
+        straggler=ParetoRedrawStragglerModel(beta=1.4),
+    )
+    assert result.num_jobs == 10
+
+
+def test_results_reproducible():
+    trace = _trace(num_jobs=10)
+
+    def run_once():
+        _, result = _simulate(
+            trace.fresh_copy(),
+            workers=25,
+            straggler=ParetoRedrawStragglerModel(beta=1.4),
+            seed=3,
+        )
+        return sorted((r.job_id, r.duration) for r in result.jobs)
+
+    assert run_once() == run_once()
+
+
+def test_zero_message_delay_supported():
+    trace = _trace(num_jobs=8)
+    sim, result = _simulate(
+        trace.fresh_copy(), workers=20, config=_config(message_delay=0.0)
+    )
+    assert result.num_jobs == 8
+
+
+def test_multi_slot_workers():
+    job = make_single_phase_job(0, 0.0, [1.0] * 8)
+    sim = DecentralizedSimulator(
+        num_workers=4,
+        slots_per_worker=2,
+        speculation=lambda: LATE(),
+        trace=Trace(jobs=[job]),
+        straggler_model=NoStragglerModel(),
+        config=_config(),
+        random_source=RandomSource(seed=1),
+    )
+    result = sim.run(until=10_000)
+    assert result.num_jobs == 1
+    assert sim.total_slots == 8
+
+
+def test_srpt_worker_policy_prioritizes_small_jobs():
+    small = make_single_phase_job(0, 0.0, [1.0] * 2, task_id_start=0)
+    big = make_single_phase_job(1, 0.0, [1.0] * 30, task_id_start=100)
+    trace = Trace(jobs=[big, small])
+    sim, result = _simulate(
+        trace,
+        workers=8,
+        config=_config(worker_policy=WorkerPolicy.SRPT, probe_ratio=2.0),
+    )
+    durations = {r.job_id: r.duration for r in result.jobs}
+    assert durations[0] < durations[1]

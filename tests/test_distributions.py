@@ -1,0 +1,190 @@
+"""Tests for workload distributions, including property-based checks."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    BoundedParetoDistribution,
+    ConstantDistribution,
+    DiscreteDistribution,
+    EmpiricalDistribution,
+    ExponentialDistribution,
+    LogNormalDistribution,
+    ParetoDistribution,
+    UniformDistribution,
+)
+
+
+RNG = random.Random(0)
+
+
+def test_constant_distribution():
+    dist = ConstantDistribution(4.2)
+    assert dist.sample(RNG) == 4.2
+    assert dist.mean() == 4.2
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantDistribution(-1.0)
+
+
+def test_uniform_bounds_and_mean():
+    dist = UniformDistribution(2.0, 6.0)
+    samples = dist.sample_many(random.Random(1), 2000)
+    assert all(2.0 <= s <= 6.0 for s in samples)
+    assert abs(sum(samples) / len(samples) - dist.mean()) < 0.2
+
+
+def test_uniform_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        UniformDistribution(3.0, 2.0)
+
+
+def test_exponential_mean():
+    dist = ExponentialDistribution(mean=5.0)
+    samples = dist.sample_many(random.Random(2), 5000)
+    assert abs(sum(samples) / len(samples) - 5.0) < 0.5
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        ExponentialDistribution(0.0)
+
+
+def test_pareto_minimum_is_scale():
+    dist = ParetoDistribution(shape=1.5, scale=2.0)
+    samples = dist.sample_many(random.Random(3), 1000)
+    assert min(samples) >= 2.0
+
+
+def test_pareto_mean_formula():
+    dist = ParetoDistribution(shape=2.0, scale=1.0)
+    assert dist.mean() == pytest.approx(2.0)
+    heavy = ParetoDistribution(shape=0.9)
+    assert math.isinf(heavy.mean())
+
+
+def test_pareto_empirical_mean_close_for_light_tail():
+    dist = ParetoDistribution(shape=3.0, scale=1.0)
+    samples = dist.sample_many(random.Random(4), 20000)
+    assert abs(sum(samples) / len(samples) - dist.mean()) < 0.1
+
+
+def test_pareto_ccdf_and_quantile_are_consistent():
+    dist = ParetoDistribution(shape=1.4, scale=1.0)
+    for q in (0.1, 0.5, 0.9):
+        x = dist.quantile(q)
+        assert dist.ccdf(x) == pytest.approx(1.0 - q, rel=1e-9)
+
+
+def test_pareto_rejects_bad_params():
+    with pytest.raises(ValueError):
+        ParetoDistribution(shape=0.0)
+    with pytest.raises(ValueError):
+        ParetoDistribution(shape=1.0, scale=0.0)
+    with pytest.raises(ValueError):
+        ParetoDistribution(shape=1.0).quantile(1.0)
+
+
+def test_bounded_pareto_support():
+    dist = BoundedParetoDistribution(shape=1.1, lo=2.0, hi=8.0)
+    samples = dist.sample_many(random.Random(5), 2000)
+    assert all(2.0 <= s <= 8.0 for s in samples)
+
+
+def test_bounded_pareto_mean_matches_empirical():
+    dist = BoundedParetoDistribution(shape=1.5, lo=1.0, hi=100.0)
+    samples = dist.sample_many(random.Random(6), 50000)
+    assert abs(sum(samples) / len(samples) - dist.mean()) < 0.1
+
+
+def test_bounded_pareto_shape_one_mean():
+    dist = BoundedParetoDistribution(shape=1.0, lo=1.0, hi=10.0)
+    samples = dist.sample_many(random.Random(7), 50000)
+    assert abs(sum(samples) / len(samples) - dist.mean()) < 0.1
+
+
+def test_bounded_pareto_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        BoundedParetoDistribution(shape=1.0, lo=5.0, hi=2.0)
+
+
+def test_lognormal_mean():
+    dist = LogNormalDistribution(mu=0.0, sigma=0.5)
+    samples = dist.sample_many(random.Random(8), 20000)
+    assert abs(sum(samples) / len(samples) - dist.mean()) < 0.05
+
+
+def test_empirical_resamples_observed_values():
+    dist = EmpiricalDistribution([1.0, 2.0, 3.0])
+    samples = set(dist.sample_many(random.Random(9), 100))
+    assert samples <= {1.0, 2.0, 3.0}
+    assert dist.mean() == pytest.approx(2.0)
+
+
+def test_empirical_rejects_empty():
+    with pytest.raises(ValueError):
+        EmpiricalDistribution([])
+
+
+def test_discrete_distribution_weights():
+    dist = DiscreteDistribution([(1.0, 9.0), (2.0, 1.0)])
+    samples = dist.sample_many(random.Random(10), 5000)
+    ones = sum(1 for s in samples if s == 1.0)
+    assert 0.85 <= ones / len(samples) <= 0.95
+    assert dist.mean() == pytest.approx(1.1)
+
+
+def test_discrete_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        DiscreteDistribution([])
+    with pytest.raises(ValueError):
+        DiscreteDistribution([(1.0, -1.0), (2.0, 2.0)])
+    with pytest.raises(ValueError):
+        DiscreteDistribution([(1.0, 0.0)])
+
+
+# -- property-based checks ----------------------------------------------------
+
+@given(
+    shape=st.floats(min_value=0.5, max_value=4.0),
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=50, deadline=None)
+def test_pareto_samples_at_least_scale(shape, scale, seed):
+    dist = ParetoDistribution(shape=shape, scale=scale)
+    rng = random.Random(seed)
+    assert all(dist.sample(rng) >= scale for _ in range(50))
+
+
+@given(
+    shape=st.floats(min_value=0.5, max_value=3.0),
+    lo=st.floats(min_value=0.1, max_value=5.0),
+    span=st.floats(min_value=0.5, max_value=50.0),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+@settings(max_examples=50, deadline=None)
+def test_bounded_pareto_within_bounds(shape, lo, span, seed):
+    hi = lo + span
+    dist = BoundedParetoDistribution(shape=shape, lo=lo, hi=hi)
+    rng = random.Random(seed)
+    for _ in range(50):
+        sample = dist.sample(rng)
+        assert lo <= sample <= hi + 1e-9
+    assert lo <= dist.mean() <= hi
+
+
+@given(
+    q=st.floats(min_value=0.0, max_value=0.999),
+    shape=st.floats(min_value=0.8, max_value=3.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_pareto_quantile_monotone(q, shape):
+    dist = ParetoDistribution(shape=shape)
+    assert dist.quantile(q) >= dist.scale

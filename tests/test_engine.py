@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.schedule(7.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5, 7.0]
+    assert sim.now == 7.0
+
+
+def test_ties_break_by_priority_then_sequence():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "b", priority=1)
+    sim.schedule(1.0, fired.append, "a", priority=0)
+    sim.schedule(1.0, fired.append, "c", priority=1)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in")
+    sim.schedule(10.0, fired.append, "out")
+    sim.run(until=5.0)
+    assert fired == ["in"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["in", "out"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_zero_delay_allowed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.0, fired.append, "now")
+    sim.run()
+    assert fired == ["now"]
+    assert sim.now == 0.0
+
+
+def test_peek_next_time_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek_next_time() == 2.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_handle_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [101.0]

@@ -1,0 +1,168 @@
+"""Tests for straggler models and task-copy progress tracking."""
+
+import random
+
+import pytest
+
+from repro.stragglers.model import (
+    MachineCorrelatedStragglerModel,
+    NoStragglerModel,
+    ParetoRedrawStragglerModel,
+    ParetoStragglerModel,
+)
+from repro.stragglers.progress import TaskCopy
+from repro.workload.task import Task
+
+
+def _task(size=2.0):
+    return Task(task_id=0, job_id=0, phase_index=0, size=size)
+
+
+RNG = random.Random(0)
+
+
+def test_no_straggler_model_is_unit():
+    model = NoStragglerModel()
+    assert model.slowdown(RNG, _task(), 0, 0) == 1.0
+
+
+def test_pareto_model_bounds():
+    model = ParetoStragglerModel(
+        straggler_prob=0.5, min_slowdown=2.0, max_slowdown=8.0, jitter=0.1
+    )
+    rng = random.Random(1)
+    for _ in range(500):
+        s = model.slowdown(rng, _task(), 0, 0)
+        assert 0.9 <= s <= 8.0 + 1e-9
+
+
+def test_pareto_model_straggle_fraction():
+    model = ParetoStragglerModel(straggler_prob=0.3)
+    rng = random.Random(2)
+    stragglers = sum(
+        1 for _ in range(4000) if model.slowdown(rng, _task(), 0, 0) > 1.5
+    )
+    assert 0.25 <= stragglers / 4000 <= 0.35
+
+
+def test_pareto_model_expected_slowdown():
+    model = ParetoStragglerModel(straggler_prob=0.2)
+    rng = random.Random(3)
+    samples = [model.slowdown(rng, _task(), 0, 0) for _ in range(20000)]
+    assert abs(sum(samples) / len(samples) - model.expected_slowdown()) < 0.1
+
+
+def test_pareto_model_validation():
+    with pytest.raises(ValueError):
+        ParetoStragglerModel(straggler_prob=1.5)
+    with pytest.raises(ValueError):
+        ParetoStragglerModel(min_slowdown=0.5)
+    with pytest.raises(ValueError):
+        ParetoStragglerModel(min_slowdown=4.0, max_slowdown=2.0)
+
+
+def test_redraw_model_original_copy_runs_nominal():
+    model = ParetoRedrawStragglerModel(beta=1.4)
+    assert model.slowdown(RNG, _task(), 0, attempt_index=0) == 1.0
+
+
+def test_redraw_model_speculative_copies_are_fresh_draws():
+    model = ParetoRedrawStragglerModel(beta=1.4, scale=1.0)
+    task = _task(size=4.0)
+    rng = random.Random(4)
+    durations = [
+        task.size * model.slowdown(rng, task, 0, attempt_index=1)
+        for _ in range(2000)
+    ]
+    # Fresh draws are i.i.d. Pareto(beta, scale): min near scale.
+    assert min(durations) >= 1.0
+    assert min(durations) < 1.2
+
+
+def test_redraw_model_validation():
+    with pytest.raises(ValueError):
+        ParetoRedrawStragglerModel(beta=0.0)
+    with pytest.raises(ValueError):
+        ParetoRedrawStragglerModel(scale=0.0)
+
+
+def test_machine_correlated_model_flaky_set():
+    model = MachineCorrelatedStragglerModel(
+        num_machines=100, flaky_fraction=0.2, seed=1
+    )
+    assert len(model.flaky_machines) == 20
+    assert all(model.is_flaky(m) for m in model.flaky_machines)
+
+
+def test_machine_correlated_model_flaky_straggle_more():
+    model = MachineCorrelatedStragglerModel(
+        num_machines=10,
+        flaky_fraction=0.5,
+        flaky_straggler_prob=0.9,
+        base_straggler_prob=0.01,
+        seed=2,
+    )
+    rng = random.Random(5)
+    flaky = next(iter(model.flaky_machines))
+    ok = next(m for m in range(10) if not model.is_flaky(m))
+    flaky_rate = sum(
+        1 for _ in range(1000) if model.slowdown(rng, _task(), flaky, 0) > 1.5
+    )
+    ok_rate = sum(
+        1 for _ in range(1000) if model.slowdown(rng, _task(), ok, 0) > 1.5
+    )
+    assert flaky_rate > 5 * max(ok_rate, 1)
+
+
+# -- TaskCopy -------------------------------------------------------------------
+
+def test_copy_progress_lifecycle():
+    copy = TaskCopy(
+        copy_id=0, task=_task(), machine_id=0, start_time=10.0, duration=4.0
+    )
+    assert copy.progress(10.0) == 0.0
+    assert copy.progress(12.0) == pytest.approx(0.5)
+    assert copy.progress(20.0) == 1.0
+    assert copy.expected_finish_time == 14.0
+
+
+def test_copy_progress_rate_is_inverse_duration():
+    copy = TaskCopy(
+        copy_id=0, task=_task(), machine_id=0, start_time=0.0, duration=5.0
+    )
+    assert copy.progress_rate(0.0) == float("inf")
+    assert copy.progress_rate(1.0) == pytest.approx(0.2)
+
+
+def test_copy_estimated_remaining():
+    copy = TaskCopy(
+        copy_id=0, task=_task(size=2.0), machine_id=0, start_time=0.0,
+        duration=10.0,
+    )
+    assert copy.estimated_remaining(0.0) == 2.0  # nothing observed yet
+    assert copy.estimated_remaining(4.0) == pytest.approx(6.0)
+    assert copy.estimated_remaining(15.0) == 0.0
+
+
+def test_copy_elapsed_clamps_to_end_time():
+    copy = TaskCopy(
+        copy_id=0, task=_task(), machine_id=0, start_time=0.0, duration=10.0
+    )
+    copy.end_time = 4.0
+    copy.killed = True
+    assert copy.elapsed(8.0) == pytest.approx(4.0)
+    assert copy.resource_time(8.0) == pytest.approx(4.0)
+
+
+def test_copy_requires_positive_duration():
+    with pytest.raises(ValueError):
+        TaskCopy(copy_id=0, task=_task(), machine_id=0, start_time=0.0, duration=0.0)
+
+
+def test_copy_is_running_flags():
+    copy = TaskCopy(
+        copy_id=0, task=_task(), machine_id=0, start_time=0.0, duration=1.0
+    )
+    assert copy.is_running
+    copy.finished = True
+    assert not copy.is_running

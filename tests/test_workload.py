@@ -1,0 +1,220 @@
+"""Tests for tasks, phases, jobs, DAGs and pipelining."""
+
+import pytest
+
+from repro.workload.job import Job, make_chain_job, make_single_phase_job
+from repro.workload.phase import Phase
+from repro.workload.task import Task, TaskState
+
+
+def _task(task_id=0, job_id=0, phase=0, size=1.0, prefs=()):
+    return Task(
+        task_id=task_id,
+        job_id=job_id,
+        phase_index=phase,
+        size=size,
+        preferred_machines=tuple(prefs),
+    )
+
+
+# -- Task ---------------------------------------------------------------------
+
+def test_task_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        _task(size=0.0)
+
+
+def test_task_initial_state():
+    task = _task()
+    assert task.state is TaskState.PENDING
+    assert not task.is_finished
+
+
+def test_task_prefers_any_machine_without_placement():
+    task = _task()
+    assert task.prefers(0) and task.prefers(99)
+
+
+def test_task_prefers_only_replica_holders():
+    task = _task(prefs=(1, 2))
+    assert task.prefers(1)
+    assert not task.prefers(3)
+
+
+def test_task_reset_runtime_state():
+    task = _task()
+    task.state = TaskState.FINISHED
+    task.finish_time = 3.0
+    task.completed_by_speculative = True
+    task.reset_runtime_state()
+    assert task.state is TaskState.PENDING
+    assert task.finish_time is None
+    assert not task.completed_by_speculative
+
+
+# -- Phase ---------------------------------------------------------------------
+
+def test_phase_requires_tasks():
+    with pytest.raises(ValueError):
+        Phase(index=0, tasks=[])
+
+
+def test_phase_progress_counters():
+    phase = Phase(index=0, tasks=[_task(i) for i in range(4)])
+    assert phase.remaining_tasks == 4
+    phase.mark_task_finished(1.0)
+    assert phase.finished_tasks == 1
+    assert phase.remaining_tasks == 3
+    assert phase.completed_fraction == pytest.approx(0.25)
+    assert not phase.is_complete
+
+
+def test_phase_overfinish_raises():
+    phase = Phase(index=0, tasks=[_task(0)])
+    phase.mark_task_finished(1.0)
+    with pytest.raises(RuntimeError):
+        phase.mark_task_finished(1.0)
+
+
+def test_phase_remaining_work_tracks_sizes():
+    tasks = [_task(i, size=float(i + 1)) for i in range(3)]  # 1+2+3 = 6
+    phase = Phase(index=0, tasks=tasks)
+    assert phase.remaining_work() == pytest.approx(6.0)
+    phase.mark_task_finished(2.0)
+    assert phase.remaining_work() == pytest.approx(4.0)
+
+
+def test_phase_remaining_work_prorates_without_size():
+    tasks = [_task(i, size=2.0) for i in range(4)]
+    phase = Phase(index=0, tasks=tasks)
+    phase.mark_task_finished()  # no size given
+    assert phase.remaining_work() == pytest.approx(6.0)
+
+
+def test_phase_mean_task_size():
+    tasks = [_task(0, size=1.0), _task(1, size=3.0)]
+    phase = Phase(index=0, tasks=tasks)
+    assert phase.mean_task_size == pytest.approx(2.0)
+
+
+def test_phase_remaining_output_data():
+    phase = Phase(index=0, tasks=[_task(i) for i in range(4)], output_data=8.0)
+    assert phase.remaining_output_data() == pytest.approx(8.0)
+    phase.mark_task_finished(1.0)
+    assert phase.remaining_output_data() == pytest.approx(6.0)
+
+
+def test_phase_reset():
+    phase = Phase(index=0, tasks=[_task(0, size=2.0)])
+    phase.tasks[0].state = TaskState.FINISHED
+    phase.mark_task_finished(2.0)
+    phase.reset_runtime_state()
+    assert phase.remaining_tasks == 1
+    assert phase.remaining_work() == pytest.approx(2.0)
+    assert phase.tasks[0].state is TaskState.PENDING
+
+
+def test_phase_validates_slowstart():
+    with pytest.raises(ValueError):
+        Phase(index=0, tasks=[_task(0)], slowstart=1.5)
+
+
+# -- Job -----------------------------------------------------------------------
+
+def test_single_phase_job_constructor():
+    job = make_single_phase_job(1, 0.0, [1.0, 2.0, 3.0])
+    assert job.num_tasks == 3
+    assert job.dag_length == 1
+    assert job.remaining_tasks() == 3
+    assert len(job.runnable_tasks()) == 3
+
+
+def test_chain_job_constructor_and_dag_length():
+    job = make_chain_job(2, 0.0, [[1.0] * 4, [1.0] * 2], [10.0, 0.0])
+    assert job.num_phases == 2
+    assert job.dag_length == 2
+    assert job.phase(1).parents == (0,)
+    assert job.phase(0).output_data == 10.0
+
+
+def test_job_requires_topological_order():
+    p0 = Phase(index=0, tasks=[_task(0, phase=0)], parents=(1,))
+    p1 = Phase(index=1, tasks=[_task(1, phase=1)])
+    with pytest.raises(ValueError):
+        Job(job_id=0, arrival_time=0.0, phases=[p0, p1])
+
+
+def test_job_rejects_duplicate_phase_indices():
+    p0 = Phase(index=0, tasks=[_task(0)])
+    p1 = Phase(index=0, tasks=[_task(1)])
+    with pytest.raises(ValueError):
+        Job(job_id=0, arrival_time=0.0, phases=[p0, p1])
+
+
+def test_pipelining_gates_downstream_phase():
+    job = make_chain_job(0, 0.0, [[1.0] * 10, [1.0] * 2], slowstart=0.3)
+    downstream = job.phase(1)
+    assert not job.phase_is_runnable(downstream)
+    for _ in range(3):  # 30% of upstream
+        job.phase(0).mark_task_finished(1.0)
+    assert job.phase_is_runnable(downstream)
+
+
+def test_runnable_tasks_excludes_gated_phase():
+    job = make_chain_job(0, 0.0, [[1.0] * 4, [1.0] * 2], slowstart=0.5)
+    assert len(job.runnable_tasks()) == 4
+    for _ in range(2):
+        job.phase(0).mark_task_finished(1.0)
+    assert len(job.runnable_tasks()) == 6  # 2 left upstream + 2 downstream... all unfinished
+
+
+def test_job_completion_flags():
+    job = make_single_phase_job(0, 0.0, [1.0])
+    assert not job.is_complete
+    job.phases[0].tasks[0].state = TaskState.FINISHED
+    job.phases[0].mark_task_finished(1.0)
+    assert job.is_complete
+    assert job.remaining_tasks() == 0
+
+
+def test_alpha_is_one_for_single_phase():
+    job = make_single_phase_job(0, 0.0, [1.0, 1.0])
+    assert job.alpha() == 1.0
+
+
+def test_alpha_ratio_for_chain():
+    # upstream work 4, downstream comm 8 -> alpha = 2
+    job = make_chain_job(0, 0.0, [[1.0] * 4, [1.0]], [8.0, 0.0])
+    assert job.alpha() == pytest.approx(2.0)
+
+
+def test_alpha_scales_with_network_rate():
+    job = make_chain_job(0, 0.0, [[1.0] * 4, [1.0]], [8.0, 0.0])
+    assert job.alpha(network_rate=2.0) == pytest.approx(1.0)
+
+
+def test_downstream_virtual_tasks():
+    job = make_chain_job(0, 0.0, [[2.0] * 4, [1.0]], [8.0, 0.0])
+    # front mean task size 2, comm 8 -> 4 task-equivalents
+    assert job.downstream_virtual_tasks() == pytest.approx(4.0)
+
+
+def test_job_reset_runtime_state():
+    job = make_single_phase_job(0, 0.0, [1.0, 1.0])
+    job.finish_time = 9.0
+    job.phases[0].tasks[0].state = TaskState.FINISHED
+    job.phases[0].mark_task_finished(1.0)
+    job.reset_runtime_state()
+    assert job.finish_time is None
+    assert job.remaining_tasks() == 2
+
+
+def test_dag_length_bushy():
+    phases = [
+        Phase(index=0, tasks=[_task(0, phase=0)]),
+        Phase(index=1, tasks=[_task(1, phase=1)]),
+        Phase(index=2, tasks=[_task(2, phase=2)], parents=(0, 1)),
+    ]
+    job = Job(job_id=0, arrival_time=0.0, phases=phases)
+    assert job.dag_length == 2
+    assert job.downstream_of(job.phase(0)) == [job.phase(2)]
