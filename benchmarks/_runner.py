@@ -1,0 +1,17 @@
+"""One shared SweepRunner for all figure benchmarks.
+
+A single runner means one cache handle and one set of sweep stats across
+the whole benchmark session. Parallel/caching behavior comes from
+``REPRO_SWEEP_PARALLEL`` / ``REPRO_SWEEP_CACHE`` (defaults: auto / off;
+cache directory from ``REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+from repro.sweep import default_runner
+
+# The process-wide default (env-configured); benchmarks that don't pass
+# runner= explicitly reach the very same instance via evaluate().
+RUNNER = default_runner()
+
+__all__ = ["RUNNER"]

@@ -1,24 +1,9 @@
-"""Shared helpers for the figure benchmarks.
-
-Each benchmark regenerates one paper table/figure at laptop scale, prints
-a paper-vs-measured table (run with ``pytest benchmarks/ --benchmark-only
--s`` to see it live; captured output is also shown on failure), and
-asserts the figure's *shape* (who wins, rough factors, trends) rather
-than the paper's testbed-specific absolute numbers.
-"""
+"""Back-compat shim: the shared paper-vs-measured formatter now lives in
+:mod:`repro.metrics.tables` so the ``python -m repro`` CLI and these
+benchmarks print identical tables."""
 
 from __future__ import annotations
 
+from repro.metrics.tables import format_table, print_table
 
-def print_table(title: str, header, rows) -> None:
-    """Uniform table printer for paper-vs-measured output."""
-    print(f"\n=== {title} ===")
-    widths = [max(len(str(h)), 12) for h in header]
-    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print(
-            "  ".join(
-                (f"{v:.2f}" if isinstance(v, float) else str(v)).ljust(w)
-                for v, w in zip(row, widths)
-            )
-        )
+__all__ = ["format_table", "print_table"]

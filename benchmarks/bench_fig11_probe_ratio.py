@@ -3,6 +3,7 @@
 from _tables import print_table
 
 from repro.experiments.figures import fig11_probe_ratio
+from _runner import RUNNER
 
 
 def test_bench_fig11(benchmark):
@@ -12,6 +13,7 @@ def test_bench_fig11(benchmark):
             utilizations=(0.7,),
             num_jobs=110,
             total_slots=300,
+            runner=RUNNER,
         ),
         rounds=1,
         iterations=1,

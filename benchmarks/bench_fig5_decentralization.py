@@ -3,6 +3,7 @@
 from _tables import print_table
 
 from repro.experiments.figures import fig5a_probe_count, fig5b_refusal_count
+from _runner import RUNNER
 
 
 def test_bench_fig5a_probe_count(benchmark):
@@ -12,6 +13,7 @@ def test_bench_fig5a_probe_count(benchmark):
             utilizations=(0.7,),
             num_jobs=100,
             total_slots=300,
+            runner=RUNNER,
         ),
         rounds=1,
         iterations=1,
@@ -39,6 +41,7 @@ def test_bench_fig5b_refusal_count(benchmark):
             utilizations=(0.7,),
             num_jobs=100,
             total_slots=300,
+            runner=RUNNER,
         ),
         rounds=1,
         iterations=1,

@@ -5,6 +5,7 @@ import pytest
 from _tables import print_table
 
 from repro.experiments.figures import fig6_utilization_gains
+from _runner import RUNNER
 
 
 @pytest.mark.parametrize("profile", ["facebook", "bing"])
@@ -15,6 +16,7 @@ def test_bench_fig6(benchmark, profile):
             utilizations=(0.6, 0.8, 0.9),
             num_jobs=130,
             total_slots=400,
+            runner=RUNNER,
         ),
         rounds=1,
         iterations=1,

@@ -3,11 +3,12 @@
 from _tables import print_table
 
 from repro.experiments.figures import headline_gains
+from _runner import RUNNER
 
 
 def test_bench_headline(benchmark):
     out = benchmark.pedantic(
-        lambda: headline_gains(num_jobs=150, total_slots=400),
+        lambda: headline_gains(num_jobs=150, total_slots=400, runner=RUNNER),
         rounds=1,
         iterations=1,
     )

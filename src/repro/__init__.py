@@ -10,9 +10,11 @@ Public API highlights
 * :mod:`repro.speculation` — LATE, Mantri and GRASS.
 * :mod:`repro.workload` — synthetic Facebook/Bing-like trace generators.
 * :mod:`repro.experiments` — one entry point per paper figure/table.
+* :mod:`repro.sweep` — parallel sweep orchestration with a deterministic
+  on-disk result cache (also: the ``python -m repro`` CLI).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     JobAllocationState,

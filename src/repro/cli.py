@@ -1,0 +1,573 @@
+"""``python -m repro`` — list and run paper figures and custom sweeps.
+
+Subcommands
+-----------
+``list``
+    Show every registered figure with its paper expectation.
+``run FIG [FIG ...]``
+    Regenerate figures and print paper-vs-measured tables. ``--quick``
+    uses scaled-down parameters (CI smoke scale); ``--cache`` makes
+    repeated invocations incremental via ``.repro-cache/``.
+``sweep``
+    Run an ad-hoc (system x utilization x seed) grid and print mean job
+    durations — the building block for custom scale-out studies.
+``cache``
+    Inspect or clear the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.metrics.tables import print_table
+from repro.sweep import (
+    CENTRALIZED_SYSTEMS,
+    DECENTRALIZED_SYSTEMS,
+    ResultCache,
+    RunSpec,
+    SweepRunner,
+    WorkloadParams,
+)
+
+
+# --------------------------------------------------------------------------
+# Figure registry
+# --------------------------------------------------------------------------
+
+@dataclass
+class FigureDef:
+    """One CLI-runnable paper figure."""
+
+    name: str
+    description: str
+    func: Callable[..., Any]
+    printer: Callable[[Any], None]
+    quick: Dict[str, Any]
+    takes_runner: bool = True
+
+
+def _print_fig3(curve) -> None:
+    from repro.experiments.figures import knee_position
+
+    print_table(
+        "Fig 3: completion vs normalized slots (paper: knee near 2/beta)",
+        ("slots/tasks", "norm. completion"),
+        curve,
+    )
+    print(f"knee position: {knee_position(curve):.2f}")
+
+
+def _print_fig5(rows) -> None:
+    print_table(
+        "Fig 5: ratio vs centralized Hopper "
+        "(paper: within ~15% at d>=4 / 2-3 refusals)",
+        ("system", "parameter", "utilization", "ratio vs centralized"),
+        [(r.system, r.parameter, r.utilization, r.ratio) for r in rows],
+    )
+
+
+def _print_fig6(rows) -> None:
+    print_table(
+        "Fig 6: reduction (%) in avg job duration "
+        "(paper: 50-60% at 60% util falling to <20% at >=80%)",
+        ("utilization", "vs Sparrow", "vs Sparrow-SRPT"),
+        [(r.utilization, r.vs_sparrow, r.vs_sparrow_srpt) for r in rows],
+    )
+
+
+def _print_bin_dict(title: str):
+    def printer(out: Dict[str, float]) -> None:
+        print_table(title, ("job bin", "reduction %"), sorted(out.items()))
+
+    return printer
+
+
+def _print_fig8a(out) -> None:
+    print_table(
+        "Fig 8a: per-job gain distribution vs Sparrow-SRPT "
+        "(paper: ~70% of jobs improve)",
+        ("percentile", "gain %"),
+        [
+            ("p10", out["p10"]),
+            ("p50", out["p50"]),
+            ("p90", out["p90"]),
+            ("mean", out["mean"]),
+        ],
+    )
+
+
+def _print_fig8b(out) -> None:
+    print_table(
+        "Fig 8b: reduction vs Sparrow-SRPT by DAG length",
+        ("dag length", "reduction %"),
+        sorted(out.items()),
+    )
+
+
+def _print_fig9(out) -> None:
+    print_table(
+        "Fig 9: gains vs Sparrow-SRPT per speculation algorithm "
+        "(paper: gains hold across LATE/Mantri/GRASS)",
+        ("algorithm", "bin", "reduction %"),
+        [
+            (algorithm, bin_name, gain)
+            for algorithm, bins in out.items()
+            for bin_name, gain in bins.items()
+        ],
+    )
+
+
+def _print_fig10(rows) -> None:
+    print_table(
+        "Fig 10: fairness knob epsilon "
+        "(paper: eps~0.1 keeps most gains, few jobs slowed)",
+        ("epsilon", "gain vs SRPT %", "frac slowed", "mean slowdown",
+         "worst slowdown"),
+        [
+            (r.epsilon, r.gain_vs_srpt, r.fraction_slowed, r.mean_slowdown,
+             r.worst_slowdown)
+            for r in rows
+        ],
+    )
+
+
+def _print_fig11(out) -> None:
+    print_table(
+        "Fig 11: Hopper's gain vs Sparrow-SRPT by probe ratio "
+        "(paper: gains increase up to ratio ~4)",
+        ("utilization", "probe ratio", "reduction %"),
+        [
+            (utilization, ratio, gain)
+            for utilization, inner in out.items()
+            for ratio, gain in sorted(inner.items())
+        ],
+    )
+
+
+def _print_fig12(out) -> None:
+    print_table(
+        "Fig 12: centralized Hopper vs SRPT (paper: up to ~50%)",
+        ("slice", "reduction %"),
+        [("overall", out["overall"])]
+        + [(f"bin {k}", v) for k, v in out["by_bin"].items()]
+        + [
+            (f"dag length {k}", v)
+            for k, v in sorted(out["by_dag_length"].items())
+        ],
+    )
+
+
+def _print_fig13(rows) -> None:
+    print_table(
+        "Fig 13: locality allowance k "
+        "(paper: small k buys locality without losing gains)",
+        ("k %", "gain vs SRPT %", "locality fraction"),
+        [(r.k_percent, r.gain_vs_srpt, r.locality_fraction) for r in rows],
+    )
+
+
+def _print_headline(out) -> None:
+    print_table(
+        "Headline gains (paper: decentralized up to 66%, centralized up "
+        "to 50%)",
+        ("comparison", "reduction %"),
+        [
+            ("decentralized Hopper vs Sparrow-SRPT",
+             out["decentralized_vs_sparrow_srpt"]),
+            ("centralized Hopper vs SRPT", out["centralized_vs_srpt"]),
+        ],
+    )
+
+
+def _registry() -> Dict[str, FigureDef]:
+    from repro.experiments import figures
+
+    defs = [
+        FigureDef(
+            "fig3",
+            "Sharp threshold in the value of extra slots (knee at 2/beta)",
+            figures.fig3_threshold,
+            _print_fig3,
+            quick=dict(
+                num_tasks=50,
+                normalized_slots=(0.6, 1.0, 1.4, 1.8, 2.2),
+                repetitions=3,
+            ),
+            takes_runner=False,
+        ),
+        FigureDef(
+            "fig5a",
+            "Decentralized-to-centralized ratio vs probe count d",
+            figures.fig5a_probe_count,
+            _print_fig5,
+            quick=dict(
+                probe_ratios=(2.0, 4.0),
+                utilizations=(0.7,),
+                num_jobs=25,
+                total_slots=80,
+            ),
+        ),
+        FigureDef(
+            "fig5b",
+            "Decentralized-to-centralized ratio vs refusal threshold",
+            figures.fig5b_refusal_count,
+            _print_fig5,
+            quick=dict(
+                refusal_counts=(0, 2),
+                utilizations=(0.7,),
+                num_jobs=25,
+                total_slots=80,
+            ),
+        ),
+        FigureDef(
+            "fig6",
+            "Decentralized Hopper gains vs utilization (Facebook profile)",
+            figures.fig6_utilization_gains,
+            _print_fig6,
+            quick=dict(utilizations=(0.7,), num_jobs=30, total_slots=100),
+        ),
+        FigureDef(
+            "fig7",
+            "Gains by job-size bin vs Sparrow-SRPT",
+            figures.fig7_job_bins,
+            _print_bin_dict(
+                "Fig 7: reduction vs Sparrow-SRPT by job-size bin "
+                "(paper: all bins gain; small jobs most)"
+            ),
+            quick=dict(num_jobs=40, total_slots=100),
+        ),
+        FigureDef(
+            "fig8a",
+            "CDF of per-job gains vs Sparrow-SRPT",
+            figures.fig8a_gain_cdf,
+            _print_fig8a,
+            quick=dict(num_jobs=40, total_slots=100),
+        ),
+        FigureDef(
+            "fig8b",
+            "Gains vs Sparrow-SRPT by DAG length",
+            figures.fig8b_dag_length,
+            _print_fig8b,
+            quick=dict(num_jobs=40, total_slots=100),
+        ),
+        FigureDef(
+            "fig9",
+            "Gains under LATE / Mantri / GRASS speculation",
+            figures.fig9_speculation_algorithms,
+            _print_fig9,
+            quick=dict(num_jobs=30, total_slots=100),
+        ),
+        FigureDef(
+            "fig10",
+            "Fairness knob epsilon: gains vs slowdowns",
+            figures.fig10_fairness,
+            _print_fig10,
+            quick=dict(epsilons=(0.0, 0.1), num_jobs=25, total_slots=80),
+        ),
+        FigureDef(
+            "fig11",
+            "Gain vs Sparrow-SRPT across probe ratios",
+            figures.fig11_probe_ratio,
+            _print_fig11,
+            quick=dict(
+                probe_ratios=(2.0, 4.0),
+                utilizations=(0.7,),
+                num_jobs=30,
+                total_slots=100,
+            ),
+        ),
+        FigureDef(
+            "fig12",
+            "Centralized Hopper vs centralized SRPT",
+            figures.fig12_centralized,
+            _print_fig12,
+            quick=dict(num_jobs=30, total_slots=60),
+        ),
+        FigureDef(
+            "fig13",
+            "Data locality allowance k",
+            figures.fig13_locality,
+            _print_fig13,
+            quick=dict(k_values=(0.0, 5.0), num_jobs=25, total_slots=60),
+        ),
+        FigureDef(
+            "headline",
+            "The paper's headline aggregate gains (Sections 1 and 7)",
+            figures.headline_gains,
+            _print_headline,
+            quick=dict(num_jobs=40, total_slots=120),
+        ),
+    ]
+    return {d.name: d for d in defs}
+
+
+# --------------------------------------------------------------------------
+# Subcommands
+# --------------------------------------------------------------------------
+
+def _build_runner(args: argparse.Namespace) -> SweepRunner:
+    cache = None
+    if getattr(args, "cache", False):
+        cache = ResultCache(root=getattr(args, "cache_dir", None))
+    parallel: Optional[bool] = None
+    if getattr(args, "serial", False):
+        parallel = False
+    elif getattr(args, "jobs", None):
+        parallel = True
+    return SweepRunner(
+        max_workers=getattr(args, "jobs", None),
+        cache=cache,
+        parallel=parallel,
+    )
+
+
+def _print_stats(runner: SweepRunner) -> None:
+    stats = runner.stats
+    if stats.requested:
+        print(
+            f"\n[sweep] {stats.requested} runs requested: "
+            f"{stats.cache_hits} cache hit(s), {stats.deduplicated} "
+            f"deduplicated, {stats.executed} executed"
+            f"{' in parallel' if stats.parallel else ''}"
+        )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry = _registry()
+    width = max(len(name) for name in registry)
+    print("Available figures (python -m repro run <name> [...]):\n")
+    for name, definition in registry.items():
+        print(f"  {name.ljust(width)}  {definition.description}")
+    print(
+        "\nAll figures accept --quick (CI smoke scale), --serial / "
+        "--jobs N, and --cache / --cache-dir."
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = _registry()
+    unknown = [name for name in args.figures if name not in registry]
+    if unknown:
+        print(
+            f"unknown figure(s): {', '.join(unknown)}; "
+            f"try: python -m repro list",
+            file=sys.stderr,
+        )
+        return 2
+    runner = _build_runner(args)
+    for name in args.figures:
+        definition = registry[name]
+        kwargs: Dict[str, Any] = dict(definition.quick) if args.quick else {}
+        if definition.takes_runner:
+            kwargs["runner"] = runner
+        definition.printer(definition.func(**kwargs))
+    _print_stats(runner)
+    return 0
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(v) for v in text.split(",") if v]
+
+
+def _parse_ints(text: str) -> List[int]:
+    return [int(v) for v in text.split(",") if v]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    valid = (
+        CENTRALIZED_SYSTEMS
+        if args.kind == "centralized"
+        else DECENTRALIZED_SYSTEMS
+    )
+    systems = [s for s in args.systems.split(",") if s]
+    unknown = [s for s in systems if s not in valid]
+    if unknown:
+        print(
+            f"unknown {args.kind} system(s): {', '.join(unknown)}; "
+            f"expected one of {', '.join(valid)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        specs = [
+            RunSpec(
+                args.kind,
+                system,
+                WorkloadParams(
+                    profile=args.profile,
+                    num_jobs=args.num_jobs,
+                    utilization=utilization,
+                    total_slots=args.total_slots,
+                    seed=seed,
+                ),
+                speculation=args.speculation,
+            )
+            for system in systems
+            for utilization in _parse_floats(args.utilizations)
+            for seed in _parse_ints(args.seeds)
+        ]
+    except ValueError as exc:
+        print(f"invalid sweep parameters: {exc}", file=sys.stderr)
+        return 2
+    runner = _build_runner(args)
+    results = runner.run(specs)
+    print_table(
+        f"Sweep: {args.kind} systems on {args.profile!r} "
+        f"({args.num_jobs} jobs, {args.total_slots} slots)",
+        ("system", "utilization", "seed", "jobs", "mean duration"),
+        [
+            (
+                spec.system,
+                spec.workload.utilization,
+                spec.workload.seed,
+                result.num_jobs,
+                result.mean_job_duration,
+            )
+            for spec, result in zip(specs, results)
+        ],
+    )
+    _print_stats(runner)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(root=args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    print(f"cache directory : {cache.directory}")
+    print(f"entries         : {cache.entry_count()}")
+    print(f"size            : {cache.size_bytes()} bytes")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="force in-process serial execution",
+    )
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep pool (default: cpu count)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse/persist results in the on-disk cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hopper (SIGCOMM 2015) reproduction: regenerate paper figures "
+            "and run custom sweeps with parallel, cached orchestration."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list available figures"
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run figures and print paper-vs-measured tables"
+    )
+    run_parser.add_argument("figures", nargs="+", metavar="FIG")
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down parameters (seconds, for smoke tests)",
+    )
+    _add_runner_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an ad-hoc (system x utilization x seed) grid"
+    )
+    sweep_parser.add_argument(
+        "--kind",
+        choices=("centralized", "decentralized"),
+        default="decentralized",
+    )
+    sweep_parser.add_argument(
+        "--systems",
+        default="hopper,sparrow-srpt",
+        help="comma-separated systems (default: hopper,sparrow-srpt)",
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        default="spark-facebook",
+        help="workload profile name (default: spark-facebook)",
+    )
+    sweep_parser.add_argument(
+        "--utilizations",
+        default="0.6,0.8",
+        help="comma-separated target utilizations (default: 0.6,0.8)",
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        default="42",
+        help="comma-separated trace seeds (default: 42)",
+    )
+    sweep_parser.add_argument("--num-jobs", type=int, default=100)
+    sweep_parser.add_argument("--total-slots", type=int, default=300)
+    sweep_parser.add_argument(
+        "--speculation",
+        choices=("late", "mantri", "grass", "none"),
+        default="late",
+    )
+    _add_runner_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true", help="delete all cached results"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache_parser.set_defaults(handler=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

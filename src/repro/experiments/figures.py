@@ -4,11 +4,17 @@ Each function regenerates one paper figure/table at laptop scale and
 returns plain data (lists of rows / dicts) that the benchmarks print and
 assert shape properties on. Parameters default to sizes that run in
 seconds; pass larger values to approach the paper's scale.
+
+The multi-run figures build declarative :class:`repro.sweep.RunSpec`
+grids and evaluate them through a :class:`repro.sweep.SweepRunner`
+(pass ``runner=`` to control parallelism/caching; the default runner is
+configured from ``REPRO_SWEEP_PARALLEL`` / ``REPRO_SWEEP_CACHE``). Specs
+are fully seeded, so parallel, serial, and cached evaluation all return
+identical results.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -17,13 +23,6 @@ from repro.cluster.cluster import Cluster
 from repro.centralized.policies import HopperPolicy, SRPTPolicy
 from repro.centralized.simulator import CentralizedSimulator
 from repro.core.virtual_size import threshold_multiplier
-from repro.experiments.harness import (
-    WorkloadSpec,
-    build_trace,
-    default_straggler_model,
-    run_centralized,
-    run_decentralized,
-)
 from repro.metrics.analysis import (
     gain_cdf,
     mean_reduction_percent,
@@ -32,10 +31,10 @@ from repro.metrics.analysis import (
     reduction_by_dag_length,
     slowdown_stats,
 )
-from repro.metrics.collector import SimulationResult
 from repro.simulation.rng import RandomSource
 from repro.speculation import make_speculation_policy
 from repro.stragglers.model import ParetoRedrawStragglerModel
+from repro.sweep import RunSpec, SweepRunner, WorkloadParams, evaluate
 from repro.workload.generator import (
     BING_PROFILE,
     FACEBOOK_PROFILE,
@@ -142,9 +141,20 @@ class DecentralizationRow:
     ratio: float
 
 
-def _centralized_reference(spec: WorkloadSpec, trace: Trace) -> float:
-    result = run_centralized(trace, "hopper", spec)
-    return result.mean_job_duration
+def _workload(
+    profile_name: str,
+    num_jobs: int,
+    utilization: float,
+    total_slots: int,
+    **kwargs,
+) -> WorkloadParams:
+    return WorkloadParams(
+        profile=profile_name,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+        **kwargs,
+    )
 
 
 def fig5a_probe_count(
@@ -152,38 +162,55 @@ def fig5a_probe_count(
     utilizations: Sequence[float] = (0.6, 0.8),
     num_jobs: int = 120,
     total_slots: int = 300,
+    runner: Optional[SweepRunner] = None,
 ) -> List[DecentralizationRow]:
     """Ratio of decentralized Hopper (and Sparrow) to centralized Hopper
     as the probe count d varies (Fig. 5a)."""
-    rows: List[DecentralizationRow] = []
+    specs: List[RunSpec] = []
     for utilization in utilizations:
-        spec = WorkloadSpec(
-            profile=SPARK_FACEBOOK_PROFILE,
-            num_jobs=num_jobs,
-            utilization=utilization,
-            total_slots=total_slots,
+        workload = _workload(
+            "spark-facebook", num_jobs, utilization, total_slots
         )
-        trace = build_trace(spec)
-        reference = _centralized_reference(spec, trace)
-        for ratio in probe_ratios:
-            result = run_decentralized(
-                trace, "hopper", spec, probe_ratio=ratio
+        specs.append(RunSpec("centralized", "hopper", workload))
+        specs.extend(
+            RunSpec(
+                "decentralized",
+                "hopper",
+                workload,
+                knobs={"probe_ratio": ratio},
             )
+            for ratio in probe_ratios
+        )
+        specs.append(
+            RunSpec(
+                "decentralized",
+                "sparrow",
+                workload,
+                knobs={"probe_ratio": 2.0},
+            )
+        )
+    results = evaluate(specs, runner)
+    rows: List[DecentralizationRow] = []
+    group = len(probe_ratios) + 2
+    for i, utilization in enumerate(utilizations):
+        reference = results[i * group].mean_job_duration
+        for j, ratio in enumerate(probe_ratios):
             rows.append(
                 DecentralizationRow(
                     parameter=ratio,
                     utilization=utilization,
                     system="hopper",
-                    ratio=result.mean_job_duration / reference,
+                    ratio=results[i * group + 1 + j].mean_job_duration
+                    / reference,
                 )
             )
-        sparrow = run_decentralized(trace, "sparrow", spec, probe_ratio=2.0)
         rows.append(
             DecentralizationRow(
                 parameter=2.0,
                 utilization=utilization,
                 system="sparrow",
-                ratio=sparrow.mean_job_duration / reference,
+                ratio=results[(i + 1) * group - 1].mean_job_duration
+                / reference,
             )
         )
     return rows
@@ -194,28 +221,37 @@ def fig5b_refusal_count(
     utilizations: Sequence[float] = (0.6, 0.8),
     num_jobs: int = 120,
     total_slots: int = 300,
+    runner: Optional[SweepRunner] = None,
 ) -> List[DecentralizationRow]:
     """Ratio vs centralized as the refusal threshold varies (Fig. 5b)."""
-    rows: List[DecentralizationRow] = []
+    specs: List[RunSpec] = []
     for utilization in utilizations:
-        spec = WorkloadSpec(
-            profile=SPARK_FACEBOOK_PROFILE,
-            num_jobs=num_jobs,
-            utilization=utilization,
-            total_slots=total_slots,
+        workload = _workload(
+            "spark-facebook", num_jobs, utilization, total_slots
         )
-        trace = build_trace(spec)
-        reference = _centralized_reference(spec, trace)
-        for refusals in refusal_counts:
-            result = run_decentralized(
-                trace, "hopper", spec, refusal_threshold=refusals
+        specs.append(RunSpec("centralized", "hopper", workload))
+        specs.extend(
+            RunSpec(
+                "decentralized",
+                "hopper",
+                workload,
+                knobs={"refusal_threshold": refusals},
             )
+            for refusals in refusal_counts
+        )
+    results = evaluate(specs, runner)
+    rows: List[DecentralizationRow] = []
+    group = len(refusal_counts) + 1
+    for i, utilization in enumerate(utilizations):
+        reference = results[i * group].mean_job_duration
+        for j, refusals in enumerate(refusal_counts):
             rows.append(
                 DecentralizationRow(
                     parameter=float(refusals),
                     utilization=utilization,
                     system="hopper",
-                    ratio=result.mean_job_duration / reference,
+                    ratio=results[i * group + 1 + j].mean_job_duration
+                    / reference,
                 )
             )
     return rows
@@ -237,24 +273,27 @@ def fig6_utilization_gains(
     utilizations: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
     num_jobs: int = 150,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> List[UtilizationGainRow]:
     """Reduction in average job duration of decentralized Hopper vs
     Sparrow and Sparrow-SRPT across utilizations (Fig. 6a/6b)."""
     profile = (
         SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
     )
-    rows: List[UtilizationGainRow] = []
-    for utilization in utilizations:
-        spec = WorkloadSpec(
-            profile=profile,
-            num_jobs=num_jobs,
-            utilization=utilization,
-            total_slots=total_slots,
+    systems = ("hopper", "sparrow", "sparrow-srpt")
+    specs = [
+        RunSpec(
+            "decentralized",
+            system,
+            _workload(profile.name, num_jobs, utilization, total_slots),
         )
-        trace = build_trace(spec)
-        hopper = run_decentralized(trace, "hopper", spec)
-        sparrow = run_decentralized(trace, "sparrow", spec)
-        srpt = run_decentralized(trace, "sparrow-srpt", spec)
+        for utilization in utilizations
+        for system in systems
+    ]
+    results = evaluate(specs, runner)
+    rows: List[UtilizationGainRow] = []
+    for i, utilization in enumerate(utilizations):
+        hopper, sparrow, srpt = results[i * 3 : i * 3 + 3]
         rows.append(
             UtilizationGainRow(
                 utilization=utilization,
@@ -274,20 +313,20 @@ def fig7_job_bins(
     utilization: float = 0.6,
     num_jobs: int = 200,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, float]:
     """Per-bin reduction vs Sparrow-SRPT (Fig. 7); keys are bin labels."""
     profile = (
         SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
     )
-    spec = WorkloadSpec(
-        profile=profile,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(profile.name, num_jobs, utilization, total_slots)
+    hopper, srpt = evaluate(
+        [
+            RunSpec("decentralized", "hopper", workload),
+            RunSpec("decentralized", "sparrow-srpt", workload),
+        ],
+        runner,
     )
-    trace = build_trace(spec)
-    hopper = run_decentralized(trace, "hopper", spec)
-    srpt = run_decentralized(trace, "sparrow-srpt", spec)
     by_bin = reduction_by_bin(srpt, hopper)
     out = {bin_label(i): gain for i, gain in sorted(by_bin.items())}
     out["overall"] = mean_reduction_percent(srpt, hopper)
@@ -302,17 +341,19 @@ def fig8a_gain_cdf(
     utilization: float = 0.6,
     num_jobs: int = 200,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, object]:
     """CDF of per-job gains vs Sparrow-SRPT plus summary percentiles."""
-    spec = WorkloadSpec(
-        profile=SPARK_FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        "spark-facebook", num_jobs, utilization, total_slots
     )
-    trace = build_trace(spec)
-    hopper = run_decentralized(trace, "hopper", spec)
-    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    hopper, srpt = evaluate(
+        [
+            RunSpec("decentralized", "hopper", workload),
+            RunSpec("decentralized", "sparrow-srpt", workload),
+        ],
+        runner,
+    )
     cdf = gain_cdf(srpt, hopper)
     gains = [g for g, _ in cdf]
     return {
@@ -328,18 +369,23 @@ def fig8b_dag_length(
     utilization: float = 0.6,
     num_jobs: int = 220,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[int, float]:
     """Reduction vs Sparrow-SRPT grouped by DAG length (Fig. 8b)."""
-    spec = WorkloadSpec(
-        profile=FACEBOOK_PROFILE,  # full DAG mix
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        "facebook",  # full DAG mix
+        num_jobs,
+        utilization,
+        total_slots,
         max_phase_tasks=120,
     )
-    trace = build_trace(spec)
-    hopper = run_decentralized(trace, "hopper", spec)
-    srpt = run_decentralized(trace, "sparrow-srpt", spec)
+    hopper, srpt = evaluate(
+        [
+            RunSpec("decentralized", "hopper", workload),
+            RunSpec("decentralized", "sparrow-srpt", workload),
+        ],
+        runner,
+    )
     return reduction_by_dag_length(srpt, hopper)
 
 
@@ -352,22 +398,22 @@ def fig9_speculation_algorithms(
     utilization: float = 0.6,
     num_jobs: int = 150,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Overall and per-bin gains of Hopper vs Sparrow-SRPT, pairing both
     systems with each speculation algorithm (Fig. 9)."""
-    spec = WorkloadSpec(
-        profile=SPARK_FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        "spark-facebook", num_jobs, utilization, total_slots
     )
-    trace = build_trace(spec)
+    specs = [
+        RunSpec("decentralized", system, workload, speculation=algorithm)
+        for algorithm in algorithms
+        for system in ("hopper", "sparrow-srpt")
+    ]
+    results = evaluate(specs, runner)
     out: Dict[str, Dict[str, float]] = {}
-    for algorithm in algorithms:
-        hopper = run_decentralized(trace, "hopper", spec, speculation=algorithm)
-        srpt = run_decentralized(
-            trace, "sparrow-srpt", spec, speculation=algorithm
-        )
+    for i, algorithm in enumerate(algorithms):
+        hopper, srpt = results[i * 2 : i * 2 + 2]
         per_bin = {
             bin_label(i): gain
             for i, gain in sorted(reduction_by_bin(srpt, hopper).items())
@@ -395,23 +441,31 @@ def fig10_fairness(
     utilization: float = 0.7,
     num_jobs: int = 150,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> List[FairnessRow]:
     """Gains and slowdown-vs-fair as epsilon varies (Fig. 10a/b/c).
 
     The slowdown reference is Hopper at epsilon=0 (perfectly fair floors),
     the paper's "perfectly fair allocation"."""
-    spec = WorkloadSpec(
-        profile=SPARK_FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        "spark-facebook", num_jobs, utilization, total_slots
     )
-    trace = build_trace(spec)
-    srpt = run_decentralized(trace, "sparrow-srpt", spec)
-    fair_reference = run_decentralized(trace, "hopper", spec, epsilon=0.0)
+    specs = [
+        RunSpec("decentralized", "sparrow-srpt", workload),
+        RunSpec(
+            "decentralized", "hopper", workload, knobs={"epsilon": 0.0}
+        ),
+    ]
+    specs.extend(
+        RunSpec(
+            "decentralized", "hopper", workload, knobs={"epsilon": epsilon}
+        )
+        for epsilon in epsilons
+    )
+    results = evaluate(specs, runner)
+    srpt, fair_reference = results[0], results[1]
     rows: List[FairnessRow] = []
-    for epsilon in epsilons:
-        result = run_decentralized(trace, "hopper", spec, epsilon=epsilon)
+    for epsilon, result in zip(epsilons, results[2:]):
         fraction, mean_slow, worst = slowdown_stats(fair_reference, result)
         rows.append(
             FairnessRow(
@@ -434,25 +488,36 @@ def fig11_probe_ratio(
     utilizations: Sequence[float] = (0.6, 0.8),
     num_jobs: int = 120,
     total_slots: int = 300,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[float, Dict[float, float]]:
     """Hopper's gain vs Sparrow-SRPT as the probe ratio varies
     (Fig. 11); keyed [utilization][probe_ratio] -> reduction %."""
-    out: Dict[float, Dict[float, float]] = {}
+    specs: List[RunSpec] = []
     for utilization in utilizations:
-        spec = WorkloadSpec(
-            profile=SPARK_FACEBOOK_PROFILE,
-            num_jobs=num_jobs,
-            utilization=utilization,
-            total_slots=total_slots,
+        workload = _workload(
+            "spark-facebook", num_jobs, utilization, total_slots
         )
-        trace = build_trace(spec)
-        srpt = run_decentralized(trace, "sparrow-srpt", spec)
-        out[utilization] = {}
-        for ratio in probe_ratios:
-            result = run_decentralized(
-                trace, "hopper", spec, probe_ratio=ratio
+        specs.append(RunSpec("decentralized", "sparrow-srpt", workload))
+        specs.extend(
+            RunSpec(
+                "decentralized",
+                "hopper",
+                workload,
+                knobs={"probe_ratio": ratio},
             )
-            out[utilization][ratio] = mean_reduction_percent(srpt, result)
+            for ratio in probe_ratios
+        )
+    results = evaluate(specs, runner)
+    out: Dict[float, Dict[float, float]] = {}
+    group = len(probe_ratios) + 1
+    for i, utilization in enumerate(utilizations):
+        srpt = results[i * group]
+        out[utilization] = {
+            ratio: mean_reduction_percent(
+                srpt, results[i * group + 1 + j]
+            )
+            for j, ratio in enumerate(probe_ratios)
+        }
     return out
 
 
@@ -465,6 +530,7 @@ def fig12_centralized(
     utilization: float = 0.7,
     num_jobs: int = 200,
     total_slots: int = 200,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, object]:
     """Centralized Hopper vs centralized SRPT+best-effort-LATE: overall,
     per-bin, per-DAG-length (Fig. 12a/12b).
@@ -473,16 +539,20 @@ def fig12_centralized(
     higher gains than "Hadoop-like", mirroring the paper's observation.
     """
     profile = FACEBOOK_PROFILE if profile_name == "facebook" else BING_PROFILE
-    spec = WorkloadSpec(
-        profile=profile,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        profile.name,
+        num_jobs,
+        utilization,
+        total_slots,
         max_phase_tasks=300,
     )
-    trace = build_trace(spec)
-    hopper = run_centralized(trace, "hopper", spec)
-    srpt = run_centralized(trace, "srpt", spec)
+    hopper, srpt = evaluate(
+        [
+            RunSpec("centralized", "hopper", workload),
+            RunSpec("centralized", "srpt", workload),
+        ],
+        runner,
+    )
     return {
         "overall": mean_reduction_percent(srpt, hopper),
         "by_bin": {
@@ -509,24 +579,39 @@ def fig13_locality(
     utilization: float = 0.7,
     num_jobs: int = 150,
     total_slots: int = 200,
+    runner: Optional[SweepRunner] = None,
 ) -> List[LocalityRow]:
     """Centralized Hopper with data locality: gains and fraction of
     data-local tasks as the allowance k varies (Fig. 13)."""
-    spec = WorkloadSpec(
-        profile=FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
+    workload = _workload(
+        "facebook",
+        num_jobs,
+        utilization,
+        total_slots,
         max_phase_tasks=200,
         locality_machines=total_slots // 4,
     )
-    trace = build_trace(spec)
-    srpt = run_centralized(trace, "srpt", spec, with_locality=True)
-    rows: List[LocalityRow] = []
-    for k in k_values:
-        result = run_centralized(
-            trace, "hopper", spec, with_locality=True, locality_k_percent=k
+    specs = [
+        RunSpec(
+            "centralized",
+            "srpt",
+            workload,
+            knobs={"with_locality": True},
         )
+    ]
+    specs.extend(
+        RunSpec(
+            "centralized",
+            "hopper",
+            workload,
+            knobs={"with_locality": True, "locality_k_percent": k},
+        )
+        for k in k_values
+    )
+    results = evaluate(specs, runner)
+    srpt = results[0]
+    rows: List[LocalityRow] = []
+    for k, result in zip(k_values, results[1:]):
         rows.append(
             LocalityRow(
                 k_percent=k,
@@ -544,29 +629,23 @@ def fig13_locality(
 def headline_gains(
     num_jobs: int = 150,
     total_slots: int = 400,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, float]:
     """The paper's headline numbers: decentralized Hopper vs the best
     decentralized baseline, and centralized Hopper vs centralized SRPT."""
-    spec = WorkloadSpec(
-        profile=SPARK_FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=0.6,
-        total_slots=total_slots,
+    decentralized_wl = _workload("spark-facebook", num_jobs, 0.6, total_slots)
+    centralized_wl = _workload(
+        "facebook", num_jobs, 0.7, total_slots // 2, max_phase_tasks=300
     )
-    trace = build_trace(spec)
-    hopper_d = run_decentralized(trace, "hopper", spec)
-    srpt_d = run_decentralized(trace, "sparrow-srpt", spec)
-
-    cspec = WorkloadSpec(
-        profile=FACEBOOK_PROFILE,
-        num_jobs=num_jobs,
-        utilization=0.7,
-        total_slots=total_slots // 2,
-        max_phase_tasks=300,
+    hopper_d, srpt_d, hopper_c, srpt_c = evaluate(
+        [
+            RunSpec("decentralized", "hopper", decentralized_wl),
+            RunSpec("decentralized", "sparrow-srpt", decentralized_wl),
+            RunSpec("centralized", "hopper", centralized_wl),
+            RunSpec("centralized", "srpt", centralized_wl),
+        ],
+        runner,
     )
-    ctrace = build_trace(cspec)
-    hopper_c = run_centralized(ctrace, "hopper", cspec)
-    srpt_c = run_centralized(ctrace, "srpt", cspec)
     return {
         "decentralized_vs_sparrow_srpt": mean_reduction_percent(
             srpt_d, hopper_d

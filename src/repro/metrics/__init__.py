@@ -1,6 +1,13 @@
-"""Metrics collection and cross-run analysis (gains, bins, CDFs)."""
+"""Metrics collection, serialization, and cross-run analysis."""
 
 from repro.metrics.collector import JobRecord, MetricsCollector, SimulationResult
+from repro.metrics.serialize import (
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.metrics.tables import format_table, print_table
 from repro.metrics.analysis import (
     bin_durations,
     gain_cdf,
@@ -24,4 +31,10 @@ __all__ = [
     "bin_durations",
     "reduction_by_bin",
     "slowdown_stats",
+    "result_to_dict",
+    "result_from_dict",
+    "dumps_result",
+    "loads_result",
+    "format_table",
+    "print_table",
 ]

@@ -1,0 +1,74 @@
+"""JSON (de)serialization for per-run metric records.
+
+Simulation results need to cross process boundaries (the parallel sweep
+runner ships them back from worker processes as plain dicts) and persist
+on disk (the sweep result cache). The format is a versioned, flat JSON
+document so cached results survive unrelated code changes and can be
+inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.metrics.collector import JobRecord, SimulationResult
+
+#: Bump when the serialized layout changes incompatibly. Readers reject
+#: documents with a different major schema.
+SCHEMA_VERSION = 1
+
+_JOB_FIELDS = tuple(f.name for f in dataclasses.fields(JobRecord))
+_RESULT_SCALAR_FIELDS = tuple(
+    f.name for f in dataclasses.fields(SimulationResult) if f.name != "jobs"
+)
+
+
+def job_record_to_dict(record: JobRecord) -> Dict[str, Any]:
+    """Plain-dict form of one :class:`JobRecord`."""
+    return {name: getattr(record, name) for name in _JOB_FIELDS}
+
+
+def job_record_from_dict(data: Dict[str, Any]) -> JobRecord:
+    """Inverse of :func:`job_record_to_dict`."""
+    return JobRecord(**{name: data[name] for name in _JOB_FIELDS})
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Plain-dict form of a :class:`SimulationResult` (JSON-safe)."""
+    doc: Dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+    for name in _RESULT_SCALAR_FIELDS:
+        doc[name] = getattr(result, name)
+    doc["jobs"] = [job_record_to_dict(r) for r in result.jobs]
+    return doc
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`.
+
+    Unknown scalar fields are ignored and missing ones fall back to the
+    dataclass defaults, so documents written by slightly older or newer
+    versions of the code still load when the schema version matches.
+    """
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    kwargs = {
+        name: data[name] for name in _RESULT_SCALAR_FIELDS if name in data
+    }
+    jobs = [job_record_from_dict(d) for d in data.get("jobs", [])]
+    return SimulationResult(jobs=jobs, **kwargs)
+
+
+def dumps_result(result: SimulationResult, **json_kwargs: Any) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), **json_kwargs)
+
+
+def loads_result(text: str) -> SimulationResult:
+    """Deserialize a result from a JSON string."""
+    return result_from_dict(json.loads(text))

@@ -1,0 +1,29 @@
+"""Uniform paper-vs-measured table formatting.
+
+Shared by the ``python -m repro`` CLI and the pytest-benchmark scripts so
+every surface prints identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(title: str, header: Sequence, rows: Iterable[Sequence]) -> str:
+    """Render a title + aligned columns; floats are shown with 2 decimals."""
+    lines: List[str] = [f"\n=== {title} ==="]
+    widths = [max(len(str(h)), 12) for h in header]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (f"{v:.2f}" if isinstance(v, float) else str(v)).ljust(w)
+                for v, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_table(title: str, header: Sequence, rows: Iterable[Sequence]) -> None:
+    """Uniform table printer for paper-vs-measured output."""
+    print(format_table(title, header, rows))

@@ -1,0 +1,127 @@
+"""On-disk result cache keyed by spec digest + code version tag.
+
+Layout::
+
+    .repro-cache/
+        v1.1.0/                     # version tag (invalidated on release)
+            <spec sha256>.json      # {"spec": ..., "result": ...}
+
+Entries are written atomically (tmp file + rename) so a crashed run never
+leaves a truncated document behind; unreadable entries are treated as
+misses and discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.metrics.collector import SimulationResult
+from repro.metrics.serialize import result_from_dict, result_to_dict
+from repro.sweep.spec import RunSpec
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_version_tag() -> str:
+    """Cache namespace for the current code: ``v<repro.__version__>``."""
+    import repro
+
+    return f"v{repro.__version__}"
+
+
+class ResultCache:
+    """Digest-addressed store of serialized simulation results."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        version_tag: Optional[str] = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.version_tag = version_tag or default_version_tag()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> Path:
+        return self.root / self.version_tag
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.digest()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """Return the cached result for ``spec``, or None on a miss.
+
+        Corrupt or stale-schema entries are removed and count as misses.
+        """
+        path = self.path_for(spec)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                document = json.load(fh)
+            result = result_from_dict(document["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under ``spec``'s digest."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "digest": spec.digest(),
+            "spec": spec.to_dict(),
+            "result": result_to_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(document, fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entry_count(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry in this version's namespace; return count."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,252 @@
+"""Declarative, hashable descriptions of single simulator runs.
+
+A :class:`RunSpec` pins down everything a replay depends on — workload
+profile, trace shape, system, speculation algorithm, knobs, and seeds —
+as plain JSON-safe values. Two properties follow:
+
+* **determinism** — executing the same spec always produces the same
+  :class:`~repro.metrics.collector.SimulationResult`, in any process,
+  because every random stream is seeded from the spec itself;
+* **content addressing** — :meth:`RunSpec.digest` is a stable SHA-256 of
+  the canonical JSON form, which keys the on-disk result cache and
+  deduplicates repeated runs inside a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+#: Systems accepted per spec kind (mirrors the harness dispatch tables).
+CENTRALIZED_SYSTEMS = ("fair", "srpt", "hopper")
+DECENTRALIZED_SYSTEMS = ("sparrow", "sparrow-srpt", "hopper")
+
+#: Extra keyword knobs forwarded to the harness runners, per kind. Kept
+#: explicit so a typo in a sweep definition fails at spec construction
+#: rather than deep inside a worker process.
+CENTRALIZED_KNOBS = frozenset(
+    {
+        "epsilon",
+        "locality_k_percent",
+        "speculation_mode",
+        "with_locality",
+        "slots_per_machine",
+    }
+)
+DECENTRALIZED_KNOBS = frozenset(
+    {
+        "epsilon",
+        "probe_ratio",
+        "refusal_threshold",
+        "num_schedulers",
+        "until",
+    }
+)
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+#: Names accepted by :func:`repro.speculation.make_speculation_policy`.
+SPECULATION_ALGORITHMS = ("late", "mantri", "grass", "none", "off")
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """JSON-safe mirror of :class:`repro.experiments.harness.WorkloadSpec`.
+
+    The workload profile is referenced by registry name (see
+    :data:`repro.workload.generator.PROFILES`) instead of by object so
+    the spec stays hashable and serializable.
+    """
+
+    profile: str = "facebook"
+    num_jobs: int = 150
+    utilization: float = 0.6
+    total_slots: int = 400
+    seed: int = 42
+    max_phase_tasks: Optional[int] = 300
+    locality_machines: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Resolve eagerly so bad profile names fail at construction.
+        from repro.workload.generator import profile_by_name
+
+        profile_by_name(self.profile)
+        if self.num_jobs <= 0:
+            raise ValueError("num_jobs must be positive")
+        if not 0.0 < self.utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1)")
+        if self.total_slots <= 0:
+            raise ValueError("total_slots must be positive")
+
+    def to_workload_spec(self):
+        """Materialize the harness :class:`WorkloadSpec` this describes."""
+        from repro.experiments.harness import WorkloadSpec
+        from repro.workload.generator import profile_by_name
+
+        return WorkloadSpec(
+            profile=profile_by_name(self.profile),
+            num_jobs=self.num_jobs,
+            utilization=self.utilization,
+            total_slots=self.total_slots,
+            seed=self.seed,
+            max_phase_tasks=self.max_phase_tasks,
+            locality_machines=self.locality_machines,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+KnobsInput = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulator replay, fully determined by its field values.
+
+    Attributes
+    ----------
+    kind:
+        ``"centralized"`` or ``"decentralized"``.
+    system:
+        Policy/system name; see :data:`CENTRALIZED_SYSTEMS` /
+        :data:`DECENTRALIZED_SYSTEMS`.
+    workload:
+        Trace shape and generation seed.
+    speculation:
+        Straggler-mitigation algorithm (``late``, ``mantri``, ``grass``).
+    run_seed:
+        Seed for the replay's own random streams (straggler draws etc.).
+    knobs:
+        Extra scalar keyword arguments forwarded to the harness runner
+        (normalized to a sorted tuple of pairs so the spec hashes).
+    """
+
+    kind: str
+    system: str
+    workload: WorkloadParams = field(default_factory=WorkloadParams)
+    speculation: str = "late"
+    run_seed: int = 7
+    knobs: KnobsInput = ()
+
+    def __post_init__(self) -> None:
+        if self.kind == "centralized":
+            valid_systems, valid_knobs = CENTRALIZED_SYSTEMS, CENTRALIZED_KNOBS
+        elif self.kind == "decentralized":
+            valid_systems, valid_knobs = (
+                DECENTRALIZED_SYSTEMS,
+                DECENTRALIZED_KNOBS,
+            )
+        else:
+            raise ValueError(
+                f"kind must be 'centralized' or 'decentralized', "
+                f"got {self.kind!r}"
+            )
+        if self.system not in valid_systems:
+            raise ValueError(
+                f"unknown {self.kind} system {self.system!r}; "
+                f"expected one of {valid_systems}"
+            )
+        if self.speculation not in SPECULATION_ALGORITHMS:
+            raise ValueError(
+                f"unknown speculation algorithm {self.speculation!r}; "
+                f"expected one of {SPECULATION_ALGORITHMS}"
+            )
+        items = (
+            tuple(sorted(self.knobs.items()))
+            if isinstance(self.knobs, Mapping)
+            else tuple(tuple(pair) for pair in sorted(self.knobs))
+        )
+        for key, value in items:
+            if key not in valid_knobs:
+                raise ValueError(
+                    f"unknown {self.kind} knob {key!r}; "
+                    f"expected one of {sorted(valid_knobs)}"
+                )
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ValueError(
+                    f"knob {key!r} must be a JSON scalar, got {value!r}"
+                )
+        object.__setattr__(self, "knobs", items)
+
+    # -- content addressing ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (stable across processes)."""
+        return {
+            "kind": self.kind,
+            "system": self.system,
+            "workload": self.workload.to_dict(),
+            "speculation": self.speculation,
+            "run_seed": self.run_seed,
+            "knobs": {k: v for k, v in self.knobs},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            kind=data["kind"],
+            system=data["system"],
+            workload=WorkloadParams(**data["workload"]),
+            speculation=data.get("speculation", "late"),
+            run_seed=data.get("run_seed", 7),
+            knobs=data.get("knobs", {}),
+        )
+
+    def digest(self) -> str:
+        """Stable SHA-256 content digest of the canonical JSON form."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and CLI output."""
+        wl = self.workload
+        return (
+            f"{self.kind[0]}:{self.system}"
+            f"@{wl.profile}/u{wl.utilization:g}/n{wl.num_jobs}/s{wl.seed}"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self):
+        """Run this spec to completion and return its result.
+
+        Deterministic: the trace is rebuilt from ``workload.seed`` and the
+        replay reseeded from ``run_seed``, so the outcome is identical in
+        any process.
+        """
+        from repro.experiments.harness import (
+            build_trace,
+            run_centralized,
+            run_decentralized,
+        )
+
+        wspec = self.workload.to_workload_spec()
+        trace = build_trace(wspec)
+        kwargs = {k: v for k, v in self.knobs}
+        if self.kind == "centralized":
+            mode = kwargs.pop("speculation_mode", None)
+            if mode is not None:
+                from repro.centralized.config import SpeculationMode
+
+                kwargs["speculation_mode"] = SpeculationMode(mode)
+            return run_centralized(
+                trace,
+                self.system,
+                wspec,
+                speculation=self.speculation,
+                run_seed=self.run_seed,
+                **kwargs,
+            )
+        return run_decentralized(
+            trace,
+            self.system,
+            wspec,
+            speculation=self.speculation,
+            run_seed=self.run_seed,
+            **kwargs,
+        )

@@ -204,6 +204,31 @@ BING_PROFILE = WorkloadProfile(
 )
 
 
+#: Registry of the built-in workload profiles, keyed by ``profile.name``.
+#: The sweep subsystem references profiles by name so that a
+#: :class:`repro.sweep.RunSpec` stays hashable and JSON-serializable.
+PROFILES = {
+    profile.name: profile
+    for profile in (
+        FACEBOOK_PROFILE,
+        SPARK_FACEBOOK_PROFILE,
+        SPARK_BING_PROFILE,
+        BING_PROFILE,
+    )
+}
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up a built-in :class:`WorkloadProfile` by its ``name``."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {name!r}; "
+            f"known profiles: {sorted(PROFILES)}"
+        ) from None
+
+
 class TraceGenerator:
     """Generates jobs from a :class:`WorkloadProfile`.
 

@@ -94,8 +94,26 @@ class Trace:
 
 
 def merge_traces(traces: Sequence[Trace]) -> Trace:
-    """Interleave several traces by arrival time."""
+    """Interleave several traces by arrival time.
+
+    Jobs are deep-copied (and their runtime state reset) so that replaying
+    the merged trace cannot mutate the source traces' Job objects. Traces
+    produced by independent generators can carry colliding job ids (each
+    generator numbers from 0); since the simulators key jobs by id, the
+    merged copies are renumbered sequentially when a collision exists.
+    """
+    # Copy per occurrence (not one deepcopy of the combined list, whose
+    # memoization would alias a job passed in twice, e.g. merge([a, a])).
     all_jobs: List[Job] = []
     for trace in traces:
-        all_jobs.extend(trace.jobs)
-    return Trace(jobs=all_jobs)
+        for job in trace.jobs:
+            clone = copy.deepcopy(job)
+            clone.reset_runtime_state()
+            all_jobs.append(clone)
+    merged = Trace(jobs=all_jobs)
+    if len({job.job_id for job in merged.jobs}) != len(merged.jobs):
+        for new_id, job in enumerate(merged.jobs):
+            job.job_id = new_id
+            for task in job.all_tasks():
+                task.job_id = new_id
+    return merged

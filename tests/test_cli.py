@@ -1,0 +1,93 @@
+"""Smoke tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_every_figure(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig3", "fig6", "fig12", "headline"):
+        assert name in out
+
+
+def test_run_rejects_unknown_figure(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_run_quick_figure_with_cache(tmp_path, capsys):
+    args = [
+        "run",
+        "fig7",
+        "--quick",
+        "--serial",
+        "--cache",
+        "--cache-dir",
+        str(tmp_path),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "Fig 7" in first
+    assert "2 executed" in first
+
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "2 cache hit(s)" in second
+    assert "0 executed" in second
+    # The measured table itself is identical across cached re-runs.
+    assert [l for l in first.splitlines() if "===" in l or "." in l][:5] == [
+        l for l in second.splitlines() if "===" in l or "." in l
+    ][:5]
+
+
+def test_sweep_command(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "--systems",
+                "hopper",
+                "--utilizations",
+                "0.6",
+                "--seeds",
+                "42",
+                "--num-jobs",
+                "10",
+                "--total-slots",
+                "40",
+                "--serial",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "hopper" in out and "1 runs requested" in out
+
+
+def test_sweep_rejects_unknown_system(capsys):
+    assert main(["sweep", "--systems", "bogus"]) == 2
+    assert "unknown decentralized system" in capsys.readouterr().err
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries         : 0" in capsys.readouterr().out
+    main(
+        [
+            "run",
+            "fig7",
+            "--quick",
+            "--serial",
+            "--cache",
+            "--cache-dir",
+            cache_dir,
+        ]
+    )
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries         : 2" in capsys.readouterr().out
+    assert main(["cache", "--clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 2" in capsys.readouterr().out

@@ -201,3 +201,66 @@ def test_merge_traces_interleaves():
     assert len(merged) == 20
     arrivals = [j.arrival_time for j in merged]
     assert arrivals == sorted(arrivals)
+
+
+def test_merge_traces_does_not_share_jobs_with_sources():
+    """Regression: replaying a merged trace must not mutate the originals."""
+    from repro.workload.task import TaskState
+
+    a = _small_trace(seed=1, n=5)
+    b = _small_trace(seed=2, n=5)
+    merged = merge_traces([a, b])
+    assert all(
+        merged_job is not source_job
+        for merged_job in merged.jobs
+        for source_job in list(a.jobs) + list(b.jobs)
+    )
+    # Simulate a replay mutating the merged trace's runtime state.
+    for job in merged.jobs:
+        job.finish_time = 99.0
+        task = job.phases[0].tasks[0]
+        task.state = TaskState.FINISHED
+        job.phases[0].mark_task_finished(task.size)
+    for source_job in list(a.jobs) + list(b.jobs):
+        assert source_job.finish_time is None
+        assert source_job.remaining_tasks() == source_job.num_tasks
+        assert all(
+            t.state is TaskState.PENDING for t in source_job.all_tasks()
+        )
+
+
+def test_merge_traces_copies_per_occurrence():
+    """merge([a, a]) must yield distinct Job objects with unique ids,
+    not two aliases of the same clone."""
+    a = _small_trace(seed=1, n=5)
+    merged = merge_traces([a, a])
+    assert len(merged) == 10
+    assert len({id(j) for j in merged.jobs}) == 10
+    ids = [j.job_id for j in merged.jobs]
+    assert len(set(ids)) == 10
+
+
+def test_merge_traces_renumbers_colliding_job_ids():
+    """Traces from independent generators both number jobs from 0; the
+    merged (copied) jobs must get unique ids so a replay can key by id."""
+    a = _small_trace(seed=1, n=5)
+    b = _small_trace(seed=2, n=5)
+    merged = merge_traces([a, b])
+    ids = [j.job_id for j in merged.jobs]
+    assert len(set(ids)) == len(ids)
+    for job in merged.jobs:
+        assert all(t.job_id == job.job_id for t in job.all_tasks())
+    # sources keep their original numbering
+    assert sorted(j.job_id for j in a.jobs) == list(range(5))
+    assert sorted(j.job_id for j in b.jobs) == list(range(5))
+
+
+def test_merge_traces_resets_runtime_state():
+    """Merging already-replayed traces yields a replayable trace."""
+    a = _small_trace(seed=3, n=4)
+    a.jobs[0].finish_time = 12.0
+    merged = merge_traces([a])
+    assert all(j.finish_time is None for j in merged.jobs)
+    assert all(
+        j.remaining_tasks() == j.num_tasks for j in merged.jobs
+    )

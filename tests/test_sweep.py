@@ -1,0 +1,313 @@
+"""Tests for the sweep subsystem: RunSpec digests, result serialization,
+the on-disk cache, and parallel-vs-serial equivalence."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import build_trace, run_centralized
+from repro.metrics.collector import JobRecord, SimulationResult
+from repro.metrics.serialize import (
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.sweep import ResultCache, RunSpec, SweepRunner, WorkloadParams
+from repro.sweep.runner import evaluate, set_default_runner
+
+
+TINY = WorkloadParams(
+    profile="spark-facebook",
+    num_jobs=10,
+    utilization=0.6,
+    total_slots=40,
+    max_phase_tasks=20,
+)
+
+
+def _tiny_grid():
+    return [
+        RunSpec("decentralized", "hopper", TINY),
+        RunSpec("decentralized", "sparrow-srpt", TINY),
+        RunSpec("centralized", "srpt", TINY),
+        RunSpec(
+            "decentralized",
+            "hopper",
+            TINY,
+            knobs={"probe_ratio": 2.0},
+        ),
+    ]
+
+
+# -- RunSpec ----------------------------------------------------------------
+
+
+def test_digest_is_stable_across_constructions():
+    a = RunSpec("decentralized", "hopper", TINY, knobs={"epsilon": 0.2})
+    b = RunSpec(
+        "decentralized",
+        "hopper",
+        WorkloadParams(
+            profile="spark-facebook",
+            num_jobs=10,
+            utilization=0.6,
+            total_slots=40,
+            max_phase_tasks=20,
+        ),
+        knobs={"epsilon": 0.2},
+    )
+    assert a.digest() == b.digest()
+    assert a == b
+
+
+def test_digest_ignores_knob_order():
+    a = RunSpec(
+        "decentralized",
+        "hopper",
+        TINY,
+        knobs={"probe_ratio": 4.0, "epsilon": 0.1},
+    )
+    b = RunSpec(
+        "decentralized",
+        "hopper",
+        TINY,
+        knobs={"epsilon": 0.1, "probe_ratio": 4.0},
+    )
+    assert a.digest() == b.digest()
+
+
+def test_digest_changes_with_any_field():
+    base = RunSpec("decentralized", "hopper", TINY)
+    variants = [
+        RunSpec("decentralized", "sparrow", TINY),
+        RunSpec("centralized", "hopper", TINY),
+        RunSpec("decentralized", "hopper", TINY, run_seed=8),
+        RunSpec("decentralized", "hopper", TINY, speculation="mantri"),
+        RunSpec(
+            "decentralized", "hopper", TINY, knobs={"probe_ratio": 6.0}
+        ),
+        RunSpec(
+            "decentralized",
+            "hopper",
+            WorkloadParams(
+                profile="spark-facebook",
+                num_jobs=10,
+                utilization=0.6,
+                total_slots=40,
+                max_phase_tasks=20,
+                seed=43,
+            ),
+        ),
+    ]
+    digests = {spec.digest() for spec in variants}
+    assert base.digest() not in digests
+    assert len(digests) == len(variants)
+
+
+def test_digest_golden_value():
+    """The digest is content-addressed storage; changing the canonical
+    form silently invalidates every existing cache. Keep it pinned."""
+    spec = RunSpec("decentralized", "hopper", TINY)
+    assert spec.digest() == (
+        "d3d3be63e3a04028e4609f195579c37d"
+        "0a8fba17c7b5059505c8c5c54cd37e42"
+    )
+
+
+def test_spec_dict_round_trip():
+    spec = RunSpec(
+        "centralized",
+        "hopper",
+        TINY,
+        speculation="grass",
+        run_seed=11,
+        knobs={"with_locality": True, "locality_k_percent": 5.0},
+    )
+    restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert restored == spec
+    assert restored.digest() == spec.digest()
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        RunSpec("bogus", "hopper", TINY)
+    with pytest.raises(ValueError):
+        RunSpec("centralized", "sparrow", TINY)  # decentralized-only
+    with pytest.raises(ValueError):
+        RunSpec("decentralized", "hopper", TINY, knobs={"bogus": 1})
+    with pytest.raises(ValueError):
+        RunSpec(
+            "decentralized", "hopper", TINY, knobs={"probe_ratio": [4.0]}
+        )
+    with pytest.raises(ValueError):
+        WorkloadParams(profile="no-such-profile")
+
+
+def test_execute_matches_direct_harness_call():
+    spec = RunSpec("centralized", "srpt", TINY)
+    via_spec = spec.execute()
+    wspec = TINY.to_workload_spec()
+    direct = run_centralized(build_trace(wspec), "srpt", wspec)
+    assert via_spec == direct
+
+
+# -- SimulationResult serialization ----------------------------------------
+
+
+def _sample_result():
+    return SimulationResult(
+        scheduler_name="test",
+        jobs=[
+            JobRecord(
+                job_id=1,
+                name="a",
+                num_tasks=4,
+                dag_length=2,
+                arrival_time=0.5,
+                finish_time=3.25,
+            ),
+            JobRecord(
+                job_id=2,
+                name="",
+                num_tasks=1,
+                dag_length=1,
+                arrival_time=1.0,
+                finish_time=2.0,
+            ),
+        ],
+        total_copies=7,
+        speculative_copies=3,
+        speculative_wins=1,
+        killed_copies=2,
+        wasted_slot_time=1.5,
+        useful_slot_time=9.0,
+        local_copies=4,
+        remote_copies=3,
+        messages_sent=120,
+        guideline2_decisions=5,
+        guideline3_decisions=8,
+    )
+
+
+def test_result_json_round_trip():
+    result = _sample_result()
+    restored = loads_result(dumps_result(result))
+    assert restored == result
+    assert restored.jobs[0].duration == result.jobs[0].duration
+    assert restored.mean_job_duration == result.mean_job_duration
+
+
+def test_result_from_dict_rejects_bad_schema():
+    doc = result_to_dict(_sample_result())
+    doc["schema_version"] = 999
+    with pytest.raises(ValueError):
+        result_from_dict(doc)
+
+
+def test_result_from_dict_tolerates_unknown_fields():
+    doc = result_to_dict(_sample_result())
+    doc["some_future_counter"] = 5
+    assert result_from_dict(doc) == _sample_result()
+
+
+# -- cache ------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = RunSpec("decentralized", "hopper", TINY)
+    assert cache.get(spec) is None
+    result = spec.execute()
+    cache.put(spec, result)
+    assert cache.get(spec) == result
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.entry_count() == 1
+
+
+def test_cache_is_keyed_by_version_tag(tmp_path):
+    spec = RunSpec("decentralized", "hopper", TINY)
+    result = spec.execute()
+    ResultCache(root=tmp_path, version_tag="v1").put(spec, result)
+    assert ResultCache(root=tmp_path, version_tag="v2").get(spec) is None
+
+
+def test_cache_discards_corrupt_entries(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = RunSpec("decentralized", "hopper", TINY)
+    cache.put(spec, spec.execute())
+    cache.path_for(spec).write_text("{not json", encoding="utf-8")
+    assert cache.get(spec) is None
+    assert not cache.path_for(spec).exists()
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    spec = RunSpec("decentralized", "hopper", TINY)
+    cache.put(spec, spec.execute())
+    assert cache.clear() == 1
+    assert cache.entry_count() == 0
+
+
+# -- runner -----------------------------------------------------------------
+
+
+def test_runner_preserves_order_and_dedups():
+    runner = SweepRunner(parallel=False)
+    specs = _tiny_grid()
+    results = runner.run([specs[0], specs[1], specs[0]])
+    assert results[0] == results[2]
+    assert results[0].scheduler_name != results[1].scheduler_name
+    assert runner.stats.requested == 3
+    assert runner.stats.executed == 2
+    assert runner.stats.deduplicated == 1
+
+
+def test_runner_second_pass_is_all_cache_hits(tmp_path):
+    specs = _tiny_grid()
+    first_runner = SweepRunner(
+        parallel=False, cache=ResultCache(root=tmp_path)
+    )
+    first = first_runner.run(specs)
+    assert first_runner.stats.cache_hits == 0
+
+    second_runner = SweepRunner(
+        parallel=False, cache=ResultCache(root=tmp_path)
+    )
+    second = second_runner.run(specs)
+    assert second == first
+    assert second_runner.stats.executed == 0
+    assert second_runner.stats.cache_hits == len(specs)
+
+
+def test_parallel_and_serial_results_are_identical():
+    specs = _tiny_grid()
+    serial = SweepRunner(parallel=False).run(specs)
+    parallel_runner = SweepRunner(parallel=True, max_workers=2)
+    parallel = parallel_runner.run(specs)
+    assert parallel == serial
+    # Compare the canonical serialized form too (belt and braces).
+    assert [result_to_dict(r) for r in parallel] == [
+        result_to_dict(r) for r in serial
+    ]
+
+
+def test_figure_function_accepts_explicit_runner(tmp_path):
+    from repro.experiments.figures import fig7_job_bins
+
+    runner = SweepRunner(parallel=False, cache=ResultCache(root=tmp_path))
+    kwargs = dict(num_jobs=15, total_slots=50)
+    first = fig7_job_bins(runner=runner, **kwargs)
+    second = fig7_job_bins(runner=runner, **kwargs)
+    assert second == first
+    assert runner.stats.cache_hits == 2  # both runs served from cache
+
+
+def test_evaluate_uses_default_runner_override():
+    sentinel = SweepRunner(parallel=False)
+    set_default_runner(sentinel)
+    try:
+        evaluate([RunSpec("decentralized", "hopper", TINY)])
+        assert sentinel.stats.requested == 1
+    finally:
+        set_default_runner(None)
