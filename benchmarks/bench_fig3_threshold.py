@@ -1,6 +1,11 @@
 """Benchmark: Figure 3 — the sharp threshold (knee) at 2/beta slots per
-remaining task."""
+remaining task.
 
+Fig. 3 now runs as a ``single_job`` study through the shared sweep
+runner, so its (norm x repetition) grid parallelizes and caches like
+every other figure."""
+
+from _runner import RUNNER
 from _tables import print_table
 
 from repro.core.virtual_size import threshold_multiplier
@@ -13,6 +18,7 @@ def _run(beta):
         num_tasks=120,
         normalized_slots=(0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5),
         repetitions=8,
+        runner=RUNNER,
     )
 
 

@@ -11,7 +11,11 @@ Public API highlights
 * :mod:`repro.workload` — synthetic Facebook/Bing-like trace generators.
 * :mod:`repro.experiments` — one entry point per paper figure/table.
 * :mod:`repro.sweep` — parallel sweep orchestration with a deterministic
-  on-disk result cache (also: the ``python -m repro`` CLI).
+  on-disk result cache, plus multi-seed :class:`~repro.sweep.Study`
+  grids with bootstrap CIs (also: the ``python -m repro`` CLI).
+* :mod:`repro.registry` — name registries (systems, policies, straggler
+  models, profiles, spec kinds, studies); the extension point for
+  plugging in new named things end-to-end.
 """
 
 __version__ = "1.1.0"

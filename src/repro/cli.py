@@ -1,18 +1,24 @@
-"""``python -m repro`` — list and run paper figures and custom sweeps.
+"""``python -m repro`` — list and run paper figures, studies and sweeps.
 
 Subcommands
 -----------
 ``list``
-    Show every registered figure with its paper expectation.
+    Show every registered figure, study, system, policy, straggler
+    model and workload profile (everything resolves through
+    :mod:`repro.registry`).
 ``run FIG [FIG ...]``
     Regenerate figures and print paper-vs-measured tables. ``--quick``
     uses scaled-down parameters (CI smoke scale); ``--cache`` makes
     repeated invocations incremental via ``.repro-cache/``.
+``study NAME [NAME ...]``
+    Run registered studies with seed replication (``--seeds 1,2,3``)
+    and print per-cell mean / p95 / bootstrap-CI tables.
 ``sweep``
     Run an ad-hoc (system x utilization x seed) grid and print mean job
     durations — the building block for custom scale-out studies.
 ``cache``
-    Inspect or clear the on-disk result cache.
+    Inspect (``stats``), prune (``prune [--older-than DAYS]``) or clear
+    the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -22,10 +28,9 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import registry
 from repro.metrics.tables import print_table
 from repro.sweep import (
-    CENTRALIZED_SYSTEMS,
-    DECENTRALIZED_SYSTEMS,
     ResultCache,
     RunSpec,
     SweepRunner,
@@ -196,7 +201,6 @@ def _registry() -> Dict[str, FigureDef]:
                 normalized_slots=(0.6, 1.0, 1.4, 1.8, 2.2),
                 repetitions=3,
             ),
-            takes_runner=False,
         ),
         FigureDef(
             "fig5a",
@@ -335,15 +339,44 @@ def _print_stats(runner: SweepRunner) -> None:
         )
 
 
+def _print_entries(title: str, entries) -> None:
+    print(f"\n{title}:")
+    width = max((len(entry.name) for entry in entries), default=0)
+    for entry in entries:
+        print(f"  {entry.name.ljust(width)}  {entry.description}")
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    registry = _registry()
-    width = max(len(name) for name in registry)
+    figure_registry = _registry()
+    width = max(len(name) for name in figure_registry)
     print("Available figures (python -m repro run <name> [...]):\n")
-    for name, definition in registry.items():
+    for name, definition in figure_registry.items():
         print(f"  {name.ljust(width)}  {definition.description}")
+
+    _print_entries(
+        "Studies (python -m repro study <name> --seeds 1,2,3)",
+        registry.studies().entries(),
+    )
+    for kind_entry in registry.SPEC_KINDS.entries():
+        kind = kind_entry.factory
+        _print_entries(
+            f"Systems for kind '{kind.name}' ({kind.description})",
+            kind.systems.entries(),
+        )
+        if kind.knobs:
+            knobs = ", ".join(
+                f"{knob.name}:{registry.type_label(knob.type)}"
+                for knob in kind.knobs.values()
+            )
+            print(f"  knobs: {knobs}")
+    _print_entries(
+        "Speculation policies", registry.SPECULATION_POLICIES.entries()
+    )
+    _print_entries("Straggler models", registry.STRAGGLER_MODELS.entries())
+    _print_entries("Workload profiles", registry.WORKLOAD_PROFILES.entries())
     print(
-        "\nAll figures accept --quick (CI smoke scale), --serial / "
-        "--jobs N, and --cache / --cache-dir."
+        "\nAll figures and studies accept --quick (CI smoke scale), "
+        "--serial / --jobs N, and --cache / --cache-dir."
     )
     return 0
 
@@ -378,11 +411,7 @@ def _parse_ints(text: str) -> List[int]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    valid = (
-        CENTRALIZED_SYSTEMS
-        if args.kind == "centralized"
-        else DECENTRALIZED_SYSTEMS
-    )
+    valid = registry.spec_kind(args.kind).systems.names()
     systems = [s for s in args.systems.split(",") if s]
     unknown = [s for s in systems if s not in valid]
     if unknown:
@@ -434,11 +463,99 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    study_registry = registry.studies()
+    unknown = [name for name in args.studies if name not in study_registry]
+    if unknown:
+        print(
+            f"unknown study(s): {', '.join(unknown)}; "
+            f"try: python -m repro list",
+            file=sys.stderr,
+        )
+        return 2
+    seeds: Optional[List[int]] = (
+        _parse_ints(args.seeds) if args.seeds else None
+    )
+    if seeds is not None and not seeds:
+        print("--seeds needs at least one integer", file=sys.stderr)
+        return 2
+    runner = _build_runner(args)
+    ci_pct = round(args.confidence * 100)
+    for name in args.studies:
+        study = study_registry.get(name).factory
+        result = study.run(seeds=seeds, runner=runner, quick=args.quick)
+        rows = result.aggregate(
+            metric=study.metric,
+            confidence=args.confidence,
+            resamples=args.resamples,
+        )
+        axes = [key for key, _ in rows[0].labels]
+        print_table(
+            f"Study {name}: {study.description} "
+            f"[{study.metric_name}; "
+            f"seeds {','.join(str(s) for s in result.seeds)}]",
+            tuple(axes)
+            + ("n", "mean", "p95", f"ci{ci_pct:g} lo", f"ci{ci_pct:g} hi"),
+            [
+                tuple(value for _, value in row.labels)
+                + (row.n, row.mean, row.p95, row.ci_lower, row.ci_upper)
+                for row in rows
+            ],
+        )
+    _print_stats(runner)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(root=args.cache_dir)
+    if args.clear and args.action != "info":
+        print(
+            f"--clear cannot be combined with 'cache {args.action}'; "
+            f"use plain 'cache --clear'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.older_than is not None and args.action != "prune":
+        print(
+            "--older-than only applies to 'cache prune'",
+            file=sys.stderr,
+        )
+        return 2
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    if args.action == "stats":
+        rows = cache.stats()
+        print_table(
+            f"Cache stats for {cache.root}",
+            ("version", "entries", "bytes", "current"),
+            [
+                (
+                    row["version_tag"],
+                    row["entries"],
+                    row["bytes"],
+                    "*" if row["current"] else "",
+                )
+                for row in rows
+            ],
+        )
+        total_entries = sum(row["entries"] for row in rows)
+        total_bytes = sum(row["bytes"] for row in rows)
+        print(f"\ntotal: {total_entries} entr(ies), {total_bytes} bytes")
+        return 0
+    if args.action == "prune":
+        removed, freed = cache.prune(older_than_days=args.older_than)
+        scope = (
+            "stale version namespaces"
+            if args.older_than is None
+            else f"stale namespaces + entries older than "
+            f"{args.older_than:g} day(s)"
+        )
+        print(
+            f"pruned {removed} entr(ies), freed {freed} bytes "
+            f"({scope}) from {cache.root}"
+        )
         return 0
     print(f"cache directory : {cache.directory}")
     print(f"entries         : {cache.entry_count()}")
@@ -510,6 +627,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
+    study_parser = subparsers.add_parser(
+        "study",
+        help=(
+            "run registered studies with seed replication and print "
+            "mean/p95/bootstrap-CI tables"
+        ),
+    )
+    study_parser.add_argument("studies", nargs="+", metavar="STUDY")
+    study_parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated seeds (default: the study's own seed list)",
+    )
+    study_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down grid parameters (seconds, for smoke tests)",
+    )
+    study_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        metavar="C",
+        help="bootstrap confidence level (default: 0.95)",
+    )
+    study_parser.add_argument(
+        "--resamples",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="bootstrap resamples (default: 2000)",
+    )
+    _add_runner_arguments(study_parser)
+    study_parser.set_defaults(handler=_cmd_study)
+
     sweep_parser = subparsers.add_parser(
         "sweep", help="run an ad-hoc (system x utilization x seed) grid"
     )
@@ -549,7 +702,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the result cache"
+        "cache", help="inspect, prune or clear the result cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("info", "stats", "prune"),
+        default="info",
+        help=(
+            "info: current-version summary (default); stats: per-version "
+            "digest-count/bytes table; prune: drop stale entries"
+        ),
+    )
+    cache_parser.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help=(
+            "with prune: also drop current-version entries older than "
+            "DAYS days"
+        ),
     )
     cache_parser.add_argument(
         "--clear", action="store_true", help="delete all cached results"

@@ -5,9 +5,17 @@ returns plain data (lists of rows / dicts) that the benchmarks print and
 assert shape properties on. Parameters default to sizes that run in
 seconds; pass larger values to approach the paper's scale.
 
-The multi-run figures build declarative :class:`repro.sweep.RunSpec`
-grids and evaluate them through a :class:`repro.sweep.SweepRunner`
-(pass ``runner=`` to control parallelism/caching; the default runner is
+Every figure is expressed as a registered :class:`repro.sweep.Study` —
+a labelled grid of :class:`repro.sweep.RunSpec` cells (``seed ->
+spec``). The figure functions run their study at a single seed and
+reduce the grid to the paper's derived quantities; the CLI ``study``
+subcommand runs the *same* grid with seed replication and reports
+mean/p95 with bootstrap confidence intervals. Fig. 3's single-job
+threshold loop, formerly a bespoke serial loop, now rides the same
+machinery via the registrable ``single_job`` spec kind.
+
+All replays go through a :class:`repro.sweep.SweepRunner` (pass
+``runner=`` to control parallelism/caching; the default runner is
 configured from ``REPRO_SWEEP_PARALLEL`` / ``REPRO_SWEEP_CACHE``). Specs
 are fully seeded, so parallel, serial, and cached evaluation all return
 identical results.
@@ -18,11 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.centralized.config import CentralizedConfig, SpeculationMode
-from repro.cluster.cluster import Cluster
-from repro.centralized.policies import HopperPolicy, SRPTPolicy
-from repro.centralized.simulator import CentralizedSimulator
-from repro.core.virtual_size import threshold_multiplier
 from repro.metrics.analysis import (
     gain_cdf,
     mean_reduction_percent,
@@ -31,10 +34,8 @@ from repro.metrics.analysis import (
     reduction_by_dag_length,
     slowdown_stats,
 )
-from repro.simulation.rng import RandomSource
-from repro.speculation import make_speculation_policy
-from repro.stragglers.model import ParetoRedrawStragglerModel
-from repro.sweep import RunSpec, SweepRunner, WorkloadParams, evaluate
+from repro.sweep import RunSpec, SweepRunner, WorkloadParams
+from repro.sweep.study import Cell, Study, cell, register_study, with_axis
 from repro.workload.generator import (
     BING_PROFILE,
     FACEBOOK_PROFILE,
@@ -42,13 +43,84 @@ from repro.workload.generator import (
     SPARK_FACEBOOK_PROFILE,
     bin_label,
 )
-from repro.workload.job import make_single_phase_job
-from repro.workload.traces import Trace
+
+
+def _workload(
+    profile_name: str,
+    num_jobs: int,
+    utilization: float,
+    total_slots: int,
+    seed: int = 42,
+    **kwargs,
+) -> WorkloadParams:
+    return WorkloadParams(
+        profile=profile_name,
+        num_jobs=num_jobs,
+        utilization=utilization,
+        total_slots=total_slots,
+        seed=seed,
+        **kwargs,
+    )
 
 
 # --------------------------------------------------------------------------
 # Figure 3: the sharp threshold in the value of extra slots
 # --------------------------------------------------------------------------
+
+def _fig3_cells(
+    beta: float = 1.4,
+    num_tasks: int = 200,
+    normalized_slots: Sequence[float] = (
+        0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5,
+    ),
+    base_seed: int = 11,
+) -> List[Cell]:
+    """One cell per normalized slot count; study *seeds* are repetition
+    indices (``run_seed``), matching the original figure loop exactly."""
+
+    def make(norm: float):
+        def make_spec(repetition: int, norm: float = norm) -> RunSpec:
+            return RunSpec(
+                "single_job",
+                "hopper",
+                WorkloadParams(
+                    profile="facebook",
+                    num_jobs=1,
+                    utilization=0.5,
+                    total_slots=1,
+                    seed=base_seed,
+                    max_phase_tasks=None,
+                ),
+                knobs={
+                    "beta": float(beta),
+                    "num_tasks": int(num_tasks),
+                    "normalized_slots": float(norm),
+                },
+                run_seed=repetition,
+            )
+
+        return make_spec
+
+    return [
+        cell(make(norm), normalized_slots=norm) for norm in normalized_slots
+    ]
+
+
+FIG3_STUDY = register_study(
+    Study(
+        name="fig3",
+        description=(
+            "single-job completion vs normalized slots; knee near 2/beta "
+            "(seeds are repetition indices)"
+        ),
+        build_cells=_fig3_cells,
+        seeds=tuple(range(8)),
+        metric=lambda result: result.jobs[0].duration,
+        metric_name="single-job completion time",
+        quick=dict(num_tasks=50, normalized_slots=(0.6, 1.0, 1.4, 1.8, 2.2)),
+    )
+)
+
 
 def fig3_threshold(
     beta: float = 1.4,
@@ -58,6 +130,7 @@ def fig3_threshold(
     ),
     repetitions: int = 30,
     seed: int = 11,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Tuple[float, float]]:
     """Single-job completion time vs normalized slot count.
 
@@ -67,45 +140,19 @@ def fig3_threshold(
     slots beyond one-per-task — the question the figure asks is how much
     that exploitation is worth.
     """
-    from repro.workload.distributions import ParetoDistribution
-
-    duration_dist = ParetoDistribution(shape=beta, scale=1.0)
+    result = FIG3_STUDY.run(
+        seeds=tuple(range(repetitions)),
+        runner=runner,
+        beta=beta,
+        num_tasks=num_tasks,
+        normalized_slots=normalized_slots,
+        base_seed=seed,
+    )
     raw: List[Tuple[float, float]] = []
-    for norm in normalized_slots:
-        slots = max(1, int(round(norm * num_tasks)))
-        samples: List[float] = []
-        for rep in range(repetitions):
-            source = RandomSource(seed=seed + 1000 * rep)
-            rng = source.child("fig3").rng
-            sizes = [duration_dist.sample(rng) for _ in range(num_tasks)]
-            job = make_single_phase_job(0, 0.0, sizes)
-            trace = Trace(jobs=[job])
-            cluster = Cluster(num_machines=slots, slots_per_machine=1)
-            sim = CentralizedSimulator(
-                cluster=cluster,
-                policy=HopperPolicy(epsilon=1.0),
-                speculation=lambda: make_speculation_policy(
-                    "late",
-                    detect_after=0.25,
-                    speculative_cap_fraction=1.0,
-                    slow_task_pct=1.0,
-                    max_copies=6,
-                ),
-                trace=trace.fresh_copy(),
-                straggler_model=ParetoRedrawStragglerModel(beta=beta),
-                config=CentralizedConfig(
-                    learn_beta=False,
-                    default_beta=beta,
-                    epsilon=1.0,
-                    speculation_check_interval=0.25,
-                    preempt_speculative=False,
-                    max_copies_cap=6,
-                ),
-                random_source=RandomSource(seed=seed + rep),
-            )
-            result = sim.run()
-            samples.append(result.jobs[0].duration)
-        samples.sort()
+    for norm, durations in zip(
+        normalized_slots, result.values(FIG3_STUDY.metric)
+    ):
+        samples = sorted(durations)
         median = samples[len(samples) // 2]
         raw.append((norm, median))
     best = min(v for _, v in raw)
@@ -141,20 +188,156 @@ class DecentralizationRow:
     ratio: float
 
 
-def _workload(
-    profile_name: str,
-    num_jobs: int,
-    utilization: float,
-    total_slots: int,
-    **kwargs,
-) -> WorkloadParams:
-    return WorkloadParams(
-        profile=profile_name,
-        num_jobs=num_jobs,
-        utilization=utilization,
-        total_slots=total_slots,
-        **kwargs,
+def _fig5a_cells(
+    probe_ratios: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[Cell]:
+    cells: List[Cell] = []
+    for utilization in utilizations:
+        def wl(seed: int, utilization: float = utilization) -> WorkloadParams:
+            return _workload(
+                "spark-facebook", num_jobs, utilization, total_slots, seed=seed
+            )
+
+        cells.append(
+            cell(
+                lambda seed, wl=wl: RunSpec("centralized", "hopper", wl(seed)),
+                system="hopper (centralized)",
+                parameter="-",
+                utilization=utilization,
+            )
+        )
+        cells.extend(
+            cell(
+                lambda seed, wl=wl, ratio=ratio: RunSpec(
+                    "decentralized",
+                    "hopper",
+                    wl(seed),
+                    knobs={"probe_ratio": ratio},
+                ),
+                system="hopper",
+                parameter=ratio,
+                utilization=utilization,
+            )
+            for ratio in probe_ratios
+        )
+        cells.append(
+            cell(
+                lambda seed, wl=wl: RunSpec(
+                    "decentralized",
+                    "sparrow",
+                    wl(seed),
+                    knobs={"probe_ratio": 2.0},
+                ),
+                system="sparrow",
+                parameter=2.0,
+                utilization=utilization,
+            )
+        )
+    return cells
+
+
+def _fig5b_cells(
+    refusal_counts: Sequence[int] = (0, 1, 2, 3, 5, 8),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[Cell]:
+    cells: List[Cell] = []
+    for utilization in utilizations:
+        def wl(seed: int, utilization: float = utilization) -> WorkloadParams:
+            return _workload(
+                "spark-facebook", num_jobs, utilization, total_slots, seed=seed
+            )
+
+        cells.append(
+            cell(
+                lambda seed, wl=wl: RunSpec("centralized", "hopper", wl(seed)),
+                system="hopper (centralized)",
+                parameter="-",
+                utilization=utilization,
+            )
+        )
+        cells.extend(
+            cell(
+                lambda seed, wl=wl, refusals=refusals: RunSpec(
+                    "decentralized",
+                    "hopper",
+                    wl(seed),
+                    knobs={"refusal_threshold": refusals},
+                ),
+                system="hopper",
+                parameter=float(refusals),
+                utilization=utilization,
+            )
+            for refusals in refusal_counts
+        )
+    return cells
+
+
+def _fig5_cells(
+    probe_ratios: Sequence[float] = (2.0, 4.0, 6.0, 8.0, 10.0),
+    refusal_counts: Sequence[int] = (0, 1, 2, 3, 5, 8),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[Cell]:
+    """Fig. 5a and 5b as one grid, distinguished by a ``variant`` axis."""
+    return with_axis(
+        _fig5a_cells(probe_ratios, utilizations, num_jobs, total_slots),
+        variant="probe-count",
+    ) + with_axis(
+        _fig5b_cells(refusal_counts, utilizations, num_jobs, total_slots),
+        variant="refusal-count",
     )
+
+
+FIG5A_STUDY = register_study(
+    Study(
+        name="fig5a",
+        description="decentralized-to-centralized ratio vs probe count d",
+        build_cells=_fig5a_cells,
+        quick=dict(
+            probe_ratios=(2.0, 4.0),
+            utilizations=(0.7,),
+            num_jobs=25,
+            total_slots=80,
+        ),
+    )
+)
+
+FIG5B_STUDY = register_study(
+    Study(
+        name="fig5b",
+        description=(
+            "decentralized-to-centralized ratio vs refusal threshold"
+        ),
+        build_cells=_fig5b_cells,
+        quick=dict(
+            refusal_counts=(0, 2),
+            utilizations=(0.7,),
+            num_jobs=25,
+            total_slots=80,
+        ),
+    )
+)
+
+FIG5_STUDY = register_study(
+    Study(
+        name="fig5",
+        description="fig5a + fig5b combined (probe count and refusals)",
+        build_cells=_fig5_cells,
+        quick=dict(
+            probe_ratios=(2.0, 4.0),
+            refusal_counts=(0, 2),
+            utilizations=(0.7,),
+            num_jobs=25,
+            total_slots=80,
+        ),
+    )
+)
 
 
 def fig5a_probe_count(
@@ -166,30 +349,13 @@ def fig5a_probe_count(
 ) -> List[DecentralizationRow]:
     """Ratio of decentralized Hopper (and Sparrow) to centralized Hopper
     as the probe count d varies (Fig. 5a)."""
-    specs: List[RunSpec] = []
-    for utilization in utilizations:
-        workload = _workload(
-            "spark-facebook", num_jobs, utilization, total_slots
-        )
-        specs.append(RunSpec("centralized", "hopper", workload))
-        specs.extend(
-            RunSpec(
-                "decentralized",
-                "hopper",
-                workload,
-                knobs={"probe_ratio": ratio},
-            )
-            for ratio in probe_ratios
-        )
-        specs.append(
-            RunSpec(
-                "decentralized",
-                "sparrow",
-                workload,
-                knobs={"probe_ratio": 2.0},
-            )
-        )
-    results = evaluate(specs, runner)
+    results = FIG5A_STUDY.run(
+        runner=runner,
+        probe_ratios=probe_ratios,
+        utilizations=utilizations,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     rows: List[DecentralizationRow] = []
     group = len(probe_ratios) + 2
     for i, utilization in enumerate(utilizations):
@@ -224,22 +390,13 @@ def fig5b_refusal_count(
     runner: Optional[SweepRunner] = None,
 ) -> List[DecentralizationRow]:
     """Ratio vs centralized as the refusal threshold varies (Fig. 5b)."""
-    specs: List[RunSpec] = []
-    for utilization in utilizations:
-        workload = _workload(
-            "spark-facebook", num_jobs, utilization, total_slots
-        )
-        specs.append(RunSpec("centralized", "hopper", workload))
-        specs.extend(
-            RunSpec(
-                "decentralized",
-                "hopper",
-                workload,
-                knobs={"refusal_threshold": refusals},
-            )
-            for refusals in refusal_counts
-        )
-    results = evaluate(specs, runner)
+    results = FIG5B_STUDY.run(
+        runner=runner,
+        refusal_counts=refusal_counts,
+        utilizations=utilizations,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     rows: List[DecentralizationRow] = []
     group = len(refusal_counts) + 1
     for i, utilization in enumerate(utilizations):
@@ -268,6 +425,45 @@ class UtilizationGainRow:
     vs_sparrow_srpt: float
 
 
+def _fig6_cells(
+    profile_name: str = "facebook",
+    utilizations: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[Cell]:
+    profile = (
+        SPARK_FACEBOOK_PROFILE
+        if profile_name == "facebook"
+        else SPARK_BING_PROFILE
+    )
+    return [
+        cell(
+            lambda seed, u=utilization, s=system: RunSpec(
+                "decentralized",
+                s,
+                _workload(profile.name, num_jobs, u, total_slots, seed=seed),
+            ),
+            utilization=utilization,
+            system=system,
+        )
+        for utilization in utilizations
+        for system in ("hopper", "sparrow", "sparrow-srpt")
+    ]
+
+
+FIG6_STUDY = register_study(
+    Study(
+        name="fig6",
+        description=(
+            "decentralized Hopper vs Sparrow / Sparrow-SRPT across "
+            "utilizations"
+        ),
+        build_cells=_fig6_cells,
+        quick=dict(utilizations=(0.7,), num_jobs=30, total_slots=100),
+    )
+)
+
+
 def fig6_utilization_gains(
     profile_name: str = "facebook",
     utilizations: Sequence[float] = (0.6, 0.7, 0.8, 0.9),
@@ -277,20 +473,13 @@ def fig6_utilization_gains(
 ) -> List[UtilizationGainRow]:
     """Reduction in average job duration of decentralized Hopper vs
     Sparrow and Sparrow-SRPT across utilizations (Fig. 6a/6b)."""
-    profile = (
-        SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
-    )
-    systems = ("hopper", "sparrow", "sparrow-srpt")
-    specs = [
-        RunSpec(
-            "decentralized",
-            system,
-            _workload(profile.name, num_jobs, utilization, total_slots),
-        )
-        for utilization in utilizations
-        for system in systems
-    ]
-    results = evaluate(specs, runner)
+    results = FIG6_STUDY.run(
+        runner=runner,
+        profile_name=profile_name,
+        utilizations=utilizations,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     rows: List[UtilizationGainRow] = []
     for i, utilization in enumerate(utilizations):
         hopper, sparrow, srpt = results[i * 3 : i * 3 + 3]
@@ -308,6 +497,42 @@ def fig6_utilization_gains(
 # Figure 7: gains by job-size bin
 # --------------------------------------------------------------------------
 
+def _fig7_cells(
+    profile_name: str = "facebook",
+    utilization: float = 0.6,
+    num_jobs: int = 200,
+    total_slots: int = 400,
+) -> List[Cell]:
+    profile = (
+        SPARK_FACEBOOK_PROFILE
+        if profile_name == "facebook"
+        else SPARK_BING_PROFILE
+    )
+    return [
+        cell(
+            lambda seed, s=system: RunSpec(
+                "decentralized",
+                s,
+                _workload(
+                    profile.name, num_jobs, utilization, total_slots, seed=seed
+                ),
+            ),
+            system=system,
+        )
+        for system in ("hopper", "sparrow-srpt")
+    ]
+
+
+FIG7_STUDY = register_study(
+    Study(
+        name="fig7",
+        description="Hopper vs Sparrow-SRPT, reduction by job-size bin",
+        build_cells=_fig7_cells,
+        quick=dict(num_jobs=40, total_slots=100),
+    )
+)
+
+
 def fig7_job_bins(
     profile_name: str = "facebook",
     utilization: float = 0.6,
@@ -316,17 +541,13 @@ def fig7_job_bins(
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, float]:
     """Per-bin reduction vs Sparrow-SRPT (Fig. 7); keys are bin labels."""
-    profile = (
-        SPARK_FACEBOOK_PROFILE if profile_name == "facebook" else SPARK_BING_PROFILE
-    )
-    workload = _workload(profile.name, num_jobs, utilization, total_slots)
-    hopper, srpt = evaluate(
-        [
-            RunSpec("decentralized", "hopper", workload),
-            RunSpec("decentralized", "sparrow-srpt", workload),
-        ],
-        runner,
-    )
+    hopper, srpt = FIG7_STUDY.run(
+        runner=runner,
+        profile_name=profile_name,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     by_bin = reduction_by_bin(srpt, hopper)
     out = {bin_label(i): gain for i, gain in sorted(by_bin.items())}
     out["overall"] = mean_reduction_percent(srpt, hopper)
@@ -337,6 +558,40 @@ def fig7_job_bins(
 # Figure 8a: CDF of gains; Figure 8b: gains vs DAG length
 # --------------------------------------------------------------------------
 
+def _fig8a_cells(
+    utilization: float = 0.6,
+    num_jobs: int = 200,
+    total_slots: int = 400,
+) -> List[Cell]:
+    return [
+        cell(
+            lambda seed, s=system: RunSpec(
+                "decentralized",
+                s,
+                _workload(
+                    "spark-facebook",
+                    num_jobs,
+                    utilization,
+                    total_slots,
+                    seed=seed,
+                ),
+            ),
+            system=system,
+        )
+        for system in ("hopper", "sparrow-srpt")
+    ]
+
+
+FIG8A_STUDY = register_study(
+    Study(
+        name="fig8a",
+        description="per-job gain CDF of Hopper vs Sparrow-SRPT",
+        build_cells=_fig8a_cells,
+        quick=dict(num_jobs=40, total_slots=100),
+    )
+)
+
+
 def fig8a_gain_cdf(
     utilization: float = 0.6,
     num_jobs: int = 200,
@@ -344,16 +599,12 @@ def fig8a_gain_cdf(
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, object]:
     """CDF of per-job gains vs Sparrow-SRPT plus summary percentiles."""
-    workload = _workload(
-        "spark-facebook", num_jobs, utilization, total_slots
-    )
-    hopper, srpt = evaluate(
-        [
-            RunSpec("decentralized", "hopper", workload),
-            RunSpec("decentralized", "sparrow-srpt", workload),
-        ],
-        runner,
-    )
+    hopper, srpt = FIG8A_STUDY.run(
+        runner=runner,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     cdf = gain_cdf(srpt, hopper)
     gains = [g for g, _ in cdf]
     return {
@@ -365,6 +616,41 @@ def fig8a_gain_cdf(
     }
 
 
+def _fig8b_cells(
+    utilization: float = 0.6,
+    num_jobs: int = 220,
+    total_slots: int = 400,
+) -> List[Cell]:
+    return [
+        cell(
+            lambda seed, s=system: RunSpec(
+                "decentralized",
+                s,
+                _workload(
+                    "facebook",  # full DAG mix
+                    num_jobs,
+                    utilization,
+                    total_slots,
+                    seed=seed,
+                    max_phase_tasks=120,
+                ),
+            ),
+            system=system,
+        )
+        for system in ("hopper", "sparrow-srpt")
+    ]
+
+
+FIG8B_STUDY = register_study(
+    Study(
+        name="fig8b",
+        description="Hopper vs Sparrow-SRPT, reduction by DAG length",
+        build_cells=_fig8b_cells,
+        quick=dict(num_jobs=40, total_slots=100),
+    )
+)
+
+
 def fig8b_dag_length(
     utilization: float = 0.6,
     num_jobs: int = 220,
@@ -372,26 +658,56 @@ def fig8b_dag_length(
     runner: Optional[SweepRunner] = None,
 ) -> Dict[int, float]:
     """Reduction vs Sparrow-SRPT grouped by DAG length (Fig. 8b)."""
-    workload = _workload(
-        "facebook",  # full DAG mix
-        num_jobs,
-        utilization,
-        total_slots,
-        max_phase_tasks=120,
-    )
-    hopper, srpt = evaluate(
-        [
-            RunSpec("decentralized", "hopper", workload),
-            RunSpec("decentralized", "sparrow-srpt", workload),
-        ],
-        runner,
-    )
+    hopper, srpt = FIG8B_STUDY.run(
+        runner=runner,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     return reduction_by_dag_length(srpt, hopper)
 
 
 # --------------------------------------------------------------------------
 # Figure 9: gains under different speculation algorithms
 # --------------------------------------------------------------------------
+
+def _fig9_cells(
+    algorithms: Sequence[str] = ("late", "mantri", "grass"),
+    utilization: float = 0.6,
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[Cell]:
+    return [
+        cell(
+            lambda seed, a=algorithm, s=system: RunSpec(
+                "decentralized",
+                s,
+                _workload(
+                    "spark-facebook",
+                    num_jobs,
+                    utilization,
+                    total_slots,
+                    seed=seed,
+                ),
+                speculation=a,
+            ),
+            speculation=algorithm,
+            system=system,
+        )
+        for algorithm in algorithms
+        for system in ("hopper", "sparrow-srpt")
+    ]
+
+
+FIG9_STUDY = register_study(
+    Study(
+        name="fig9",
+        description="gains under LATE / Mantri / GRASS speculation",
+        build_cells=_fig9_cells,
+        quick=dict(num_jobs=30, total_slots=100),
+    )
+)
+
 
 def fig9_speculation_algorithms(
     algorithms: Sequence[str] = ("late", "mantri", "grass"),
@@ -402,15 +718,13 @@ def fig9_speculation_algorithms(
 ) -> Dict[str, Dict[str, float]]:
     """Overall and per-bin gains of Hopper vs Sparrow-SRPT, pairing both
     systems with each speculation algorithm (Fig. 9)."""
-    workload = _workload(
-        "spark-facebook", num_jobs, utilization, total_slots
-    )
-    specs = [
-        RunSpec("decentralized", system, workload, speculation=algorithm)
-        for algorithm in algorithms
-        for system in ("hopper", "sparrow-srpt")
-    ]
-    results = evaluate(specs, runner)
+    results = FIG9_STUDY.run(
+        runner=runner,
+        algorithms=algorithms,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     out: Dict[str, Dict[str, float]] = {}
     for i, algorithm in enumerate(algorithms):
         hopper, srpt = results[i * 2 : i * 2 + 2]
@@ -436,6 +750,54 @@ class FairnessRow:
     worst_slowdown: float
 
 
+def _fig10_cells(
+    epsilons: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.30),
+    utilization: float = 0.7,
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[Cell]:
+    def wl(seed: int) -> WorkloadParams:
+        return _workload(
+            "spark-facebook", num_jobs, utilization, total_slots, seed=seed
+        )
+
+    cells = [
+        cell(
+            lambda seed: RunSpec("decentralized", "sparrow-srpt", wl(seed)),
+            system="sparrow-srpt",
+            epsilon="-",
+        ),
+        cell(
+            lambda seed: RunSpec(
+                "decentralized", "hopper", wl(seed), knobs={"epsilon": 0.0}
+            ),
+            system="hopper (fair reference)",
+            epsilon=0.0,
+        ),
+    ]
+    cells.extend(
+        cell(
+            lambda seed, e=epsilon: RunSpec(
+                "decentralized", "hopper", wl(seed), knobs={"epsilon": e}
+            ),
+            system="hopper",
+            epsilon=epsilon,
+        )
+        for epsilon in epsilons
+    )
+    return cells
+
+
+FIG10_STUDY = register_study(
+    Study(
+        name="fig10",
+        description="fairness knob epsilon: gains vs slowdowns",
+        build_cells=_fig10_cells,
+        quick=dict(epsilons=(0.0, 0.1), num_jobs=25, total_slots=80),
+    )
+)
+
+
 def fig10_fairness(
     epsilons: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20, 0.30),
     utilization: float = 0.7,
@@ -447,22 +809,13 @@ def fig10_fairness(
 
     The slowdown reference is Hopper at epsilon=0 (perfectly fair floors),
     the paper's "perfectly fair allocation"."""
-    workload = _workload(
-        "spark-facebook", num_jobs, utilization, total_slots
-    )
-    specs = [
-        RunSpec("decentralized", "sparrow-srpt", workload),
-        RunSpec(
-            "decentralized", "hopper", workload, knobs={"epsilon": 0.0}
-        ),
-    ]
-    specs.extend(
-        RunSpec(
-            "decentralized", "hopper", workload, knobs={"epsilon": epsilon}
-        )
-        for epsilon in epsilons
-    )
-    results = evaluate(specs, runner)
+    results = FIG10_STUDY.run(
+        runner=runner,
+        epsilons=epsilons,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     srpt, fair_reference = results[0], results[1]
     rows: List[FairnessRow] = []
     for epsilon, result in zip(epsilons, results[2:]):
@@ -483,6 +836,61 @@ def fig10_fairness(
 # Figure 11: probe ratio sweep
 # --------------------------------------------------------------------------
 
+def _fig11_cells(
+    probe_ratios: Sequence[float] = (2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
+    utilizations: Sequence[float] = (0.6, 0.8),
+    num_jobs: int = 120,
+    total_slots: int = 300,
+) -> List[Cell]:
+    cells: List[Cell] = []
+    for utilization in utilizations:
+        def wl(seed: int, utilization: float = utilization) -> WorkloadParams:
+            return _workload(
+                "spark-facebook", num_jobs, utilization, total_slots, seed=seed
+            )
+
+        cells.append(
+            cell(
+                lambda seed, wl=wl: RunSpec(
+                    "decentralized", "sparrow-srpt", wl(seed)
+                ),
+                utilization=utilization,
+                system="sparrow-srpt",
+                probe_ratio="-",
+            )
+        )
+        cells.extend(
+            cell(
+                lambda seed, wl=wl, ratio=ratio: RunSpec(
+                    "decentralized",
+                    "hopper",
+                    wl(seed),
+                    knobs={"probe_ratio": ratio},
+                ),
+                utilization=utilization,
+                system="hopper",
+                probe_ratio=ratio,
+            )
+            for ratio in probe_ratios
+        )
+    return cells
+
+
+FIG11_STUDY = register_study(
+    Study(
+        name="fig11",
+        description="Hopper's gain vs Sparrow-SRPT across probe ratios",
+        build_cells=_fig11_cells,
+        quick=dict(
+            probe_ratios=(2.0, 4.0),
+            utilizations=(0.7,),
+            num_jobs=30,
+            total_slots=100,
+        ),
+    )
+)
+
+
 def fig11_probe_ratio(
     probe_ratios: Sequence[float] = (2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
     utilizations: Sequence[float] = (0.6, 0.8),
@@ -492,22 +900,13 @@ def fig11_probe_ratio(
 ) -> Dict[float, Dict[float, float]]:
     """Hopper's gain vs Sparrow-SRPT as the probe ratio varies
     (Fig. 11); keyed [utilization][probe_ratio] -> reduction %."""
-    specs: List[RunSpec] = []
-    for utilization in utilizations:
-        workload = _workload(
-            "spark-facebook", num_jobs, utilization, total_slots
-        )
-        specs.append(RunSpec("decentralized", "sparrow-srpt", workload))
-        specs.extend(
-            RunSpec(
-                "decentralized",
-                "hopper",
-                workload,
-                knobs={"probe_ratio": ratio},
-            )
-            for ratio in probe_ratios
-        )
-    results = evaluate(specs, runner)
+    results = FIG11_STUDY.run(
+        runner=runner,
+        probe_ratios=probe_ratios,
+        utilizations=utilizations,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     out: Dict[float, Dict[float, float]] = {}
     group = len(probe_ratios) + 1
     for i, utilization in enumerate(utilizations):
@@ -525,6 +924,43 @@ def fig11_probe_ratio(
 # Figure 12: centralized Hopper vs SRPT
 # --------------------------------------------------------------------------
 
+def _fig12_cells(
+    profile_name: str = "facebook",
+    utilization: float = 0.7,
+    num_jobs: int = 200,
+    total_slots: int = 200,
+) -> List[Cell]:
+    profile = FACEBOOK_PROFILE if profile_name == "facebook" else BING_PROFILE
+    return [
+        cell(
+            lambda seed, s=system: RunSpec(
+                "centralized",
+                s,
+                _workload(
+                    profile.name,
+                    num_jobs,
+                    utilization,
+                    total_slots,
+                    seed=seed,
+                    max_phase_tasks=300,
+                ),
+            ),
+            system=system,
+        )
+        for system in ("hopper", "srpt")
+    ]
+
+
+FIG12_STUDY = register_study(
+    Study(
+        name="fig12",
+        description="centralized Hopper vs centralized SRPT",
+        build_cells=_fig12_cells,
+        quick=dict(num_jobs=30, total_slots=60),
+    )
+)
+
+
 def fig12_centralized(
     profile_name: str = "facebook",
     utilization: float = 0.7,
@@ -538,21 +974,13 @@ def fig12_centralized(
     The "Spark-like" variant (small interactive jobs) shows modestly
     higher gains than "Hadoop-like", mirroring the paper's observation.
     """
-    profile = FACEBOOK_PROFILE if profile_name == "facebook" else BING_PROFILE
-    workload = _workload(
-        profile.name,
-        num_jobs,
-        utilization,
-        total_slots,
-        max_phase_tasks=300,
-    )
-    hopper, srpt = evaluate(
-        [
-            RunSpec("centralized", "hopper", workload),
-            RunSpec("centralized", "srpt", workload),
-        ],
-        runner,
-    )
+    hopper, srpt = FIG12_STUDY.run(
+        runner=runner,
+        profile_name=profile_name,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     return {
         "overall": mean_reduction_percent(srpt, hopper),
         "by_bin": {
@@ -574,6 +1002,61 @@ class LocalityRow:
     locality_fraction: float
 
 
+def _fig13_cells(
+    k_values: Sequence[float] = (0.0, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0),
+    utilization: float = 0.7,
+    num_jobs: int = 150,
+    total_slots: int = 200,
+) -> List[Cell]:
+    def wl(seed: int) -> WorkloadParams:
+        return _workload(
+            "facebook",
+            num_jobs,
+            utilization,
+            total_slots,
+            seed=seed,
+            max_phase_tasks=200,
+            locality_machines=total_slots // 4,
+        )
+
+    cells = [
+        cell(
+            lambda seed: RunSpec(
+                "centralized",
+                "srpt",
+                wl(seed),
+                knobs={"with_locality": True},
+            ),
+            system="srpt",
+            k_percent="-",
+        )
+    ]
+    cells.extend(
+        cell(
+            lambda seed, k=k: RunSpec(
+                "centralized",
+                "hopper",
+                wl(seed),
+                knobs={"with_locality": True, "locality_k_percent": k},
+            ),
+            system="hopper",
+            k_percent=k,
+        )
+        for k in k_values
+    )
+    return cells
+
+
+FIG13_STUDY = register_study(
+    Study(
+        name="fig13",
+        description="data-locality allowance k: gains and local fraction",
+        build_cells=_fig13_cells,
+        quick=dict(k_values=(0.0, 5.0), num_jobs=25, total_slots=60),
+    )
+)
+
+
 def fig13_locality(
     k_values: Sequence[float] = (0.0, 1.0, 3.0, 5.0, 7.0, 10.0, 15.0),
     utilization: float = 0.7,
@@ -583,32 +1066,13 @@ def fig13_locality(
 ) -> List[LocalityRow]:
     """Centralized Hopper with data locality: gains and fraction of
     data-local tasks as the allowance k varies (Fig. 13)."""
-    workload = _workload(
-        "facebook",
-        num_jobs,
-        utilization,
-        total_slots,
-        max_phase_tasks=200,
-        locality_machines=total_slots // 4,
-    )
-    specs = [
-        RunSpec(
-            "centralized",
-            "srpt",
-            workload,
-            knobs={"with_locality": True},
-        )
-    ]
-    specs.extend(
-        RunSpec(
-            "centralized",
-            "hopper",
-            workload,
-            knobs={"with_locality": True, "locality_k_percent": k},
-        )
-        for k in k_values
-    )
-    results = evaluate(specs, runner)
+    results = FIG13_STUDY.run(
+        runner=runner,
+        k_values=k_values,
+        utilization=utilization,
+        num_jobs=num_jobs,
+        total_slots=total_slots,
+    ).first_seed_results
     srpt = results[0]
     rows: List[LocalityRow] = []
     for k, result in zip(k_values, results[1:]):
@@ -626,6 +1090,61 @@ def fig13_locality(
 # Headline: §1 / §7 aggregate gains
 # --------------------------------------------------------------------------
 
+def _headline_cells(
+    num_jobs: int = 150,
+    total_slots: int = 400,
+) -> List[Cell]:
+    def decentralized_wl(seed: int) -> WorkloadParams:
+        return _workload("spark-facebook", num_jobs, 0.6, total_slots, seed=seed)
+
+    def centralized_wl(seed: int) -> WorkloadParams:
+        return _workload(
+            "facebook",
+            num_jobs,
+            0.7,
+            total_slots // 2,
+            seed=seed,
+            max_phase_tasks=300,
+        )
+
+    return [
+        cell(
+            lambda seed: RunSpec(
+                "decentralized", "hopper", decentralized_wl(seed)
+            ),
+            kind="decentralized",
+            system="hopper",
+        ),
+        cell(
+            lambda seed: RunSpec(
+                "decentralized", "sparrow-srpt", decentralized_wl(seed)
+            ),
+            kind="decentralized",
+            system="sparrow-srpt",
+        ),
+        cell(
+            lambda seed: RunSpec("centralized", "hopper", centralized_wl(seed)),
+            kind="centralized",
+            system="hopper",
+        ),
+        cell(
+            lambda seed: RunSpec("centralized", "srpt", centralized_wl(seed)),
+            kind="centralized",
+            system="srpt",
+        ),
+    ]
+
+
+HEADLINE_STUDY = register_study(
+    Study(
+        name="headline",
+        description="the paper's headline aggregate gains (Sections 1 and 7)",
+        build_cells=_headline_cells,
+        quick=dict(num_jobs=40, total_slots=120),
+    )
+)
+
+
 def headline_gains(
     num_jobs: int = 150,
     total_slots: int = 400,
@@ -633,19 +1152,9 @@ def headline_gains(
 ) -> Dict[str, float]:
     """The paper's headline numbers: decentralized Hopper vs the best
     decentralized baseline, and centralized Hopper vs centralized SRPT."""
-    decentralized_wl = _workload("spark-facebook", num_jobs, 0.6, total_slots)
-    centralized_wl = _workload(
-        "facebook", num_jobs, 0.7, total_slots // 2, max_phase_tasks=300
-    )
-    hopper_d, srpt_d, hopper_c, srpt_c = evaluate(
-        [
-            RunSpec("decentralized", "hopper", decentralized_wl),
-            RunSpec("decentralized", "sparrow-srpt", decentralized_wl),
-            RunSpec("centralized", "hopper", centralized_wl),
-            RunSpec("centralized", "srpt", centralized_wl),
-        ],
-        runner,
-    )
+    hopper_d, srpt_d, hopper_c, srpt_c = HEADLINE_STUDY.run(
+        runner=runner, num_jobs=num_jobs, total_slots=total_slots
+    ).first_seed_results
     return {
         "decentralized_vs_sparrow_srpt": mean_reduction_percent(
             srpt_d, hopper_d

@@ -9,19 +9,15 @@ declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
+from repro import registry
 from repro.centralized.config import CentralizedConfig, SpeculationMode
-from repro.centralized.policies import (
-    CentralizedPolicy,
-    FairPolicy,
-    HopperPolicy,
-    SRPTPolicy,
-)
+from repro.centralized.policies import CentralizedPolicy
 from repro.centralized.simulator import CentralizedSimulator
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
-from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.simulator import DecentralizedSimulator
 from repro.metrics.collector import SimulationResult
 from repro.simulation.rng import RandomSource
@@ -78,14 +74,20 @@ def default_straggler_model(profile: WorkloadProfile) -> StragglerModel:
 
 
 def _centralized_policy(name: str, epsilon: float) -> CentralizedPolicy:
-    name = name.lower()
-    if name == "fair":
-        return FairPolicy()
-    if name == "srpt":
-        return SRPTPolicy()
-    if name == "hopper":
-        return HopperPolicy(epsilon=epsilon)
-    raise ValueError(f"unknown centralized policy: {name!r}")
+    entry = registry.CENTRALIZED_SYSTEMS.get(name.lower())
+    return entry.factory(epsilon=epsilon)
+
+
+def _resolve_straggler_model(
+    straggler_model: Union[StragglerModel, str, None],
+    profile: WorkloadProfile,
+) -> StragglerModel:
+    """Accept a model instance, a registry name, or None (paper default)."""
+    if straggler_model is None:
+        return default_straggler_model(profile)
+    if isinstance(straggler_model, str):
+        return registry.make_straggler_model(straggler_model, profile)
+    return straggler_model
 
 
 def run_centralized(
@@ -96,7 +98,7 @@ def run_centralized(
     epsilon: float = 0.1,
     locality_k_percent: float = 3.0,
     speculation_mode: Optional[SpeculationMode] = None,
-    straggler_model: Optional[StragglerModel] = None,
+    straggler_model: Union[StragglerModel, str, None] = None,
     with_locality: bool = False,
     slots_per_machine: int = 4,
     run_seed: int = 7,
@@ -106,7 +108,8 @@ def run_centralized(
 
     The trace is deep-copied first, so the same object can be replayed
     under several systems. Baselines default to BEST_EFFORT speculation;
-    Hopper defaults to INTEGRATED.
+    Hopper defaults to INTEGRATED. ``policy`` and (string-valued)
+    ``straggler_model`` resolve through :mod:`repro.registry`.
     """
     policy_obj = _centralized_policy(policy, epsilon)
     if speculation_mode is None:
@@ -137,19 +140,12 @@ def run_centralized(
         policy=policy_obj,
         speculation=lambda: make_speculation_policy(speculation),
         trace=trace.fresh_copy(),
-        straggler_model=straggler_model or default_straggler_model(spec.profile),
+        straggler_model=_resolve_straggler_model(straggler_model, spec.profile),
         config=config,
         datastore=datastore,
         random_source=RandomSource(seed=run_seed),
     )
     return simulator.run()
-
-
-_DECENTRALIZED_SYSTEMS = {
-    "sparrow": (WorkerPolicy.FIFO, 2.0, 1.0),
-    "sparrow-srpt": (WorkerPolicy.SRPT, 2.0, 1.0),
-    "hopper": (WorkerPolicy.HOPPER, 4.0, 0.1),
-}
 
 
 def run_decentralized(
@@ -161,28 +157,26 @@ def run_decentralized(
     epsilon: Optional[float] = None,
     refusal_threshold: int = 2,
     num_schedulers: int = 10,
-    straggler_model: Optional[StragglerModel] = None,
+    straggler_model: Union[StragglerModel, str, None] = None,
     run_seed: int = 7,
     config: Optional[DecentralizedConfig] = None,
     until: Optional[float] = None,
 ) -> SimulationResult:
     """Replay ``trace`` under one decentralized system.
 
-    ``system`` is 'sparrow', 'sparrow-srpt' or 'hopper'; each carries the
+    ``system`` names an entry of
+    :data:`repro.registry.DECENTRALIZED_SYSTEMS`; each entry carries the
     paper's default probe ratio (2 for the baselines, 4 for Hopper) and
     fairness setting, overridable per experiment.
     """
-    try:
-        worker_policy, default_ratio, default_eps = _DECENTRALIZED_SYSTEMS[
-            system
-        ]
-    except KeyError:
-        raise ValueError(f"unknown decentralized system: {system!r}") from None
+    defaults = registry.DECENTRALIZED_SYSTEMS.get(system).factory()
     if config is None:
         config = DecentralizedConfig(
-            worker_policy=worker_policy,
-            probe_ratio=probe_ratio if probe_ratio is not None else default_ratio,
-            epsilon=epsilon if epsilon is not None else default_eps,
+            worker_policy=defaults.worker_policy,
+            probe_ratio=(
+                probe_ratio if probe_ratio is not None else defaults.probe_ratio
+            ),
+            epsilon=epsilon if epsilon is not None else defaults.epsilon,
             refusal_threshold=refusal_threshold,
             num_schedulers=num_schedulers,
             default_beta=spec.profile.beta,
@@ -191,7 +185,7 @@ def run_decentralized(
         num_workers=spec.total_slots,
         speculation=lambda: make_speculation_policy(speculation),
         trace=trace.fresh_copy(),
-        straggler_model=straggler_model or default_straggler_model(spec.profile),
+        straggler_model=_resolve_straggler_model(straggler_model, spec.profile),
         config=config,
         random_source=RandomSource(seed=run_seed),
         name=system,

@@ -1,0 +1,777 @@
+"""Central name registries for everything an experiment references.
+
+The paper's results compare *named* systems (fair / SRPT / Hopper,
+Sparrow / Sparrow-SRPT / Hopper) under *named* policies (LATE / Mantri /
+GRASS speculation, Pareto stragglers) on *named* workload profiles.
+Before this module those names were hardcoded four different ways —
+tuples in ``sweep/spec.py``, if-chains in the harness, a private dict
+for the decentralized systems, and string checks in the speculation
+factory. Adding one new scheduler meant editing four files in lockstep.
+
+Now every named thing registers here exactly once, with:
+
+* a **factory** that builds it,
+* a typed **knob schema** (name -> type / default / validator) where the
+  thing is parameterizable, and
+* a one-line **description** surfaced by ``python -m repro list``.
+
+``RunSpec`` validation, the harness runners, and the CLI all resolve
+through these registries, so registering a new entry makes it usable
+end-to-end (spec -> sweep -> study -> CLI) with no other edits:
+
+    from repro.registry import CENTRALIZED_SYSTEMS
+    CENTRALIZED_SYSTEMS.register(
+        "lifo", lambda epsilon: MyLifoPolicy(), description="LIFO strawman"
+    )
+    RunSpec("centralized", "lifo", WorkloadParams()).execute()
+
+Registries
+----------
+``SPEC_KINDS``
+    Run shapes: ``centralized``, ``decentralized``, ``single_job``. Each
+    kind carries its systems sub-registry, its knob schema, and the
+    executor that turns a :class:`~repro.sweep.spec.RunSpec` into a
+    :class:`~repro.metrics.collector.SimulationResult`.
+``CENTRALIZED_SYSTEMS`` / ``DECENTRALIZED_SYSTEMS`` / ``SINGLE_JOB_SYSTEMS``
+    Schedulers per kind.
+``SPECULATION_POLICIES``
+    Straggler-mitigation algorithms (LATE, Mantri, GRASS, none).
+``STRAGGLER_MODELS``
+    Generative straggler models, resolvable by name from a spec knob.
+``WORKLOAD_PROFILES``
+    Synthetic trace profiles (Facebook / Bing and their Spark variants).
+``STUDIES``
+    Named multi-seed experiment grids (populated by
+    :mod:`repro.experiments.figures`; use :func:`studies` to read it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+
+class RegistryError(ValueError):
+    """Base class for registry lookup/registration failures."""
+
+
+class UnknownEntryError(RegistryError):
+    """Raised when a name is not registered; message lists valid names."""
+
+
+class DuplicateEntryError(RegistryError):
+    """Raised when a name is registered twice without ``replace=True``."""
+
+
+class KnobError(RegistryError):
+    """Raised when a knob name or value fails its schema."""
+
+
+def type_label(expected: Union[type, Tuple[type, ...]]) -> str:
+    """Human-readable name of a knob's expected type(s)."""
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+_type_label = type_label
+
+
+def _type_matches(value: Any, expected: type) -> bool:
+    # bool is an int subclass; keep the two distinct so a schema can
+    # demand a real flag (and an int knob reject True/False).
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One typed, validated keyword parameter of a registry entry.
+
+    Attributes
+    ----------
+    name:
+        Keyword name as it appears in ``RunSpec.knobs``.
+    type:
+        Expected Python type (or tuple of types). ``float`` accepts
+        ints; ``int``/``float`` reject bools.
+    default:
+        Value used when the knob is omitted (documentation only — specs
+        never inject defaults, so digests are unaffected).
+    description:
+        One line for ``repro list``.
+    validator:
+        Optional predicate on the value; ``False``/raising means invalid.
+    """
+
+    name: str
+    type: Union[type, Tuple[type, ...]] = float
+    default: Any = None
+    description: str = ""
+    validator: Optional[Callable[[Any], bool]] = None
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`KnobError` unless ``value`` fits this knob."""
+        expected = self.type if isinstance(self.type, tuple) else (self.type,)
+        if not any(_type_matches(value, t) for t in expected):
+            raise KnobError(
+                f"knob {self.name!r} must be {_type_label(self.type)}, "
+                f"got {value!r} ({type(value).__name__})"
+            )
+        if self.validator is not None and not self.validator(value):
+            raise KnobError(
+                f"knob {self.name!r} rejected value {value!r}"
+                + (f" ({self.description})" if self.description else "")
+            )
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One registered name: factory + knob schema + description."""
+
+    name: str
+    factory: Any
+    description: str = ""
+    knobs: Mapping[str, Knob] = field(default_factory=dict)
+
+
+class Registry:
+    """An ordered name -> :class:`Entry` table with helpful errors.
+
+    ``label`` names the registry in every error message (the tests pin
+    this: an unknown-name error must say *which* registry rejected the
+    name and list what it does contain).
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._entries: Dict[str, Entry] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Any,
+        description: str = "",
+        knobs: Iterable[Knob] = (),
+        replace: bool = False,
+    ) -> Entry:
+        """Register ``factory`` under ``name``; duplicate names raise."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(
+                f"{self.label} name must be a non-empty string, got {name!r}"
+            )
+        if name in self._entries and not replace:
+            raise DuplicateEntryError(
+                f"{self.label} {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        entry = Entry(
+            name=name,
+            factory=factory,
+            description=description,
+            knobs={knob.name: knob for knob in knobs},
+        )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (plugin teardown / tests)."""
+        self._entries.pop(name, None)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownEntryError(
+                f"unknown {self.label} {name!r}; "
+                f"valid entries: {', '.join(sorted(self._entries)) or '(none)'}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def entries(self) -> Tuple[Entry, ...]:
+        return tuple(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.label!r}, {list(self._entries)})"
+
+
+# --------------------------------------------------------------------------
+# Spec kinds: run shapes a RunSpec can take
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpecKind:
+    """One run shape: systems sub-registry + knob schema + executor."""
+
+    name: str
+    systems: Registry
+    knobs: Mapping[str, Knob]
+    run: Callable[[Any], Any]  # RunSpec -> SimulationResult
+    description: str = ""
+
+    def validate_knobs(self, items: Sequence[Tuple[str, Any]]) -> None:
+        """Validate normalized ``(name, value)`` knob pairs for this kind."""
+        for key, value in items:
+            try:
+                knob = self.knobs[key]
+            except KeyError:
+                raise KnobError(
+                    f"unknown {self.name} knob {key!r}; "
+                    f"expected one of {sorted(self.knobs)}"
+                ) from None
+            knob.validate(value)
+
+
+SPEC_KINDS = Registry("spec kind")
+CENTRALIZED_SYSTEMS = Registry("centralized system")
+DECENTRALIZED_SYSTEMS = Registry("decentralized system")
+SINGLE_JOB_SYSTEMS = Registry("single_job system")
+SPECULATION_POLICIES = Registry("speculation policy")
+STRAGGLER_MODELS = Registry("straggler model")
+WORKLOAD_PROFILES = Registry("workload profile")
+STUDIES = Registry("study")
+
+
+def spec_kind(name: str) -> SpecKind:
+    """Resolve a registered :class:`SpecKind` by name."""
+    return SPEC_KINDS.get(name).factory
+
+
+def studies() -> Registry:
+    """The study registry, with the built-in studies loaded."""
+    import repro.experiments.figures  # noqa: F401  (registers studies)
+
+    return STUDIES
+
+
+def make_straggler_model(name: str, profile: Any = None, **kwargs: Any):
+    """Build a registered straggler model, parameterized by ``profile``."""
+    return STRAGGLER_MODELS.get(name).factory(profile, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations
+#
+# Domain modules are imported lazily inside the factories/executors so
+# importing ``repro.registry`` never drags in the simulators (and so no
+# import cycles form: domain modules may import this module freely).
+# --------------------------------------------------------------------------
+
+def _fair_factory(epsilon: float = 0.1):
+    from repro.centralized.policies import FairPolicy
+
+    return FairPolicy()
+
+
+def _srpt_factory(epsilon: float = 0.1):
+    from repro.centralized.policies import SRPTPolicy
+
+    return SRPTPolicy()
+
+
+def _hopper_factory(epsilon: float = 0.1):
+    from repro.centralized.policies import HopperPolicy
+
+    return HopperPolicy(epsilon=epsilon)
+
+
+CENTRALIZED_SYSTEMS.register(
+    "fair",
+    _fair_factory,
+    description="max-min fair sharing across active jobs",
+)
+CENTRALIZED_SYSTEMS.register(
+    "srpt",
+    _srpt_factory,
+    description="shortest remaining processing time (speculation-blind)",
+)
+CENTRALIZED_SYSTEMS.register(
+    "hopper",
+    _hopper_factory,
+    description="speculation-aware Hopper allocation (the paper's system)",
+)
+
+
+@dataclass(frozen=True)
+class DecentralizedSystemDefaults:
+    """Per-system defaults the paper uses for the decentralized runs."""
+
+    worker_policy: Any
+    probe_ratio: float
+    epsilon: float
+
+
+def _sparrow_defaults() -> DecentralizedSystemDefaults:
+    from repro.decentralized.config import WorkerPolicy
+
+    return DecentralizedSystemDefaults(WorkerPolicy.FIFO, 2.0, 1.0)
+
+
+def _sparrow_srpt_defaults() -> DecentralizedSystemDefaults:
+    from repro.decentralized.config import WorkerPolicy
+
+    return DecentralizedSystemDefaults(WorkerPolicy.SRPT, 2.0, 1.0)
+
+
+def _decentralized_hopper_defaults() -> DecentralizedSystemDefaults:
+    from repro.decentralized.config import WorkerPolicy
+
+    return DecentralizedSystemDefaults(WorkerPolicy.HOPPER, 4.0, 0.1)
+
+
+DECENTRALIZED_SYSTEMS.register(
+    "sparrow",
+    _sparrow_defaults,
+    description="Sparrow batch sampling, FIFO worker queues (d=2)",
+)
+DECENTRALIZED_SYSTEMS.register(
+    "sparrow-srpt",
+    _sparrow_srpt_defaults,
+    description="Sparrow with SRPT worker queues (the strong baseline)",
+)
+DECENTRALIZED_SYSTEMS.register(
+    "hopper",
+    _decentralized_hopper_defaults,
+    description="decentralized Hopper (d=4, epsilon=0.1 fairness)",
+)
+
+SINGLE_JOB_SYSTEMS.register(
+    "hopper",
+    _hopper_factory,
+    description="single-job Hopper with uncapped LATE (Fig. 3 setting)",
+)
+
+
+def _late_factory(**kwargs):
+    from repro.speculation.late import LATE
+
+    return LATE(**kwargs)
+
+
+def _mantri_factory(**kwargs):
+    from repro.speculation.mantri import Mantri
+
+    return Mantri(**kwargs)
+
+
+def _grass_factory(**kwargs):
+    from repro.speculation.grass import GRASS
+
+    return GRASS(**kwargs)
+
+
+def _no_speculation_factory(**kwargs):
+    from repro.speculation.none import NoSpeculation
+
+    return NoSpeculation()
+
+
+SPECULATION_POLICIES.register(
+    "late",
+    _late_factory,
+    description="LATE: speculate the slowest-progress tasks [Zaharia08]",
+)
+SPECULATION_POLICIES.register(
+    "mantri",
+    _mantri_factory,
+    description="Mantri: resource-aware restarts [Ananthanarayanan10]",
+)
+SPECULATION_POLICIES.register(
+    "grass",
+    _grass_factory,
+    description="GRASS: deadline-greedy speculation [Ananthanarayanan14]",
+)
+SPECULATION_POLICIES.register(
+    "none",
+    _no_speculation_factory,
+    description="no speculative copies (original attempts only)",
+)
+SPECULATION_POLICIES.register(
+    "off",
+    _no_speculation_factory,
+    description="alias of 'none'",
+)
+
+
+def _pareto_redraw_model(profile, **kwargs):
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+    from repro.workload.generator import FACEBOOK_PROFILE
+
+    profile = profile or FACEBOOK_PROFILE
+    return ParetoRedrawStragglerModel(
+        beta=profile.beta, scale=profile.task_scale, **kwargs
+    )
+
+
+def _iid_pareto_model(profile, **kwargs):
+    from repro.stragglers.model import ParetoStragglerModel
+
+    return ParetoStragglerModel(**kwargs)
+
+
+def _no_straggler_model(profile, **kwargs):
+    from repro.stragglers.model import NoStragglerModel
+
+    return NoStragglerModel()
+
+
+STRAGGLER_MODELS.register(
+    "pareto-redraw",
+    _pareto_redraw_model,
+    description=(
+        "paper-faithful i.i.d. Pareto redraw per copy (2/beta analysis)"
+    ),
+)
+STRAGGLER_MODELS.register(
+    "iid-pareto",
+    _iid_pareto_model,
+    description="bounded-Pareto straggle multipliers, i.i.d. per copy",
+)
+STRAGGLER_MODELS.register(
+    "none",
+    _no_straggler_model,
+    description="ideal cluster: every copy runs at nominal speed",
+)
+
+
+def _register_workload_profiles() -> None:
+    from repro.workload import generator
+
+    for profile in (
+        generator.FACEBOOK_PROFILE,
+        generator.SPARK_FACEBOOK_PROFILE,
+        generator.SPARK_BING_PROFILE,
+        generator.BING_PROFILE,
+    ):
+        WORKLOAD_PROFILES.register(
+            profile.name,
+            profile,
+            description=(
+                f"beta={profile.beta:g}, task_scale={profile.task_scale:g}"
+            ),
+        )
+
+
+_register_workload_profiles()
+
+
+# --------------------------------------------------------------------------
+# Spec-kind executors and knob schemas
+# --------------------------------------------------------------------------
+
+def _resolve_straggler_knob(kwargs: Dict[str, Any], profile) -> None:
+    """Replace a by-name ``straggler_model`` knob with a built instance."""
+    name = kwargs.pop("straggler_model", None)
+    if name is not None:
+        kwargs["straggler_model"] = make_straggler_model(name, profile)
+
+
+def _run_centralized_spec(spec):
+    from repro.experiments.harness import build_trace, run_centralized
+
+    wspec = spec.workload.to_workload_spec()
+    trace = build_trace(wspec)
+    kwargs = {k: v for k, v in spec.knobs}
+    mode = kwargs.pop("speculation_mode", None)
+    if mode is not None:
+        from repro.centralized.config import SpeculationMode
+
+        kwargs["speculation_mode"] = SpeculationMode(mode)
+    _resolve_straggler_knob(kwargs, wspec.profile)
+    return run_centralized(
+        trace,
+        spec.system,
+        wspec,
+        speculation=spec.speculation,
+        run_seed=spec.run_seed,
+        **kwargs,
+    )
+
+
+def _run_decentralized_spec(spec):
+    from repro.experiments.harness import build_trace, run_decentralized
+
+    wspec = spec.workload.to_workload_spec()
+    trace = build_trace(wspec)
+    kwargs = {k: v for k, v in spec.knobs}
+    _resolve_straggler_knob(kwargs, wspec.profile)
+    return run_decentralized(
+        trace,
+        spec.system,
+        wspec,
+        speculation=spec.speculation,
+        run_seed=spec.run_seed,
+        **kwargs,
+    )
+
+
+def _run_single_job_spec(spec):
+    """Fig. 3's one-job threshold experiment as a registrable spec kind.
+
+    One spec is one repetition at one normalized slot count:
+    ``workload.seed`` is the base seed, ``run_seed`` is the repetition
+    index, and the knobs carry the Pareto tail and the slot budget. The
+    seeding math reproduces the original figure loop exactly, so curves
+    are bit-identical to the pre-registry implementation. The trace-shape
+    fields of ``workload`` other than ``seed`` are unused (the single
+    job is synthesized directly from the knobs).
+    """
+    from repro.centralized.config import CentralizedConfig
+    from repro.centralized.simulator import CentralizedSimulator
+    from repro.cluster.cluster import Cluster
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import make_speculation_policy
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+    from repro.workload.distributions import ParetoDistribution
+    from repro.workload.job import make_single_phase_job
+    from repro.workload.traces import Trace
+
+    knobs = {k: v for k, v in spec.knobs}
+    beta = float(knobs.get("beta", 1.4))
+    num_tasks = int(knobs.get("num_tasks", 200))
+    normalized_slots = float(knobs.get("normalized_slots", 1.0))
+    base_seed = spec.workload.seed
+    repetition = spec.run_seed
+
+    slots = max(1, int(round(normalized_slots * num_tasks)))
+    source = RandomSource(seed=base_seed + 1000 * repetition)
+    rng = source.child("fig3").rng
+    duration_dist = ParetoDistribution(shape=beta, scale=1.0)
+    sizes = [duration_dist.sample(rng) for _ in range(num_tasks)]
+    job = make_single_phase_job(0, 0.0, sizes)
+    trace = Trace(jobs=[job])
+
+    policy = SINGLE_JOB_SYSTEMS.get(spec.system).factory(epsilon=1.0)
+    if spec.speculation == "late":
+        # Uncapped LATE so the job can exploit slots beyond one-per-task.
+        speculation = lambda: make_speculation_policy(  # noqa: E731
+            "late",
+            detect_after=0.25,
+            speculative_cap_fraction=1.0,
+            slow_task_pct=1.0,
+            max_copies=6,
+        )
+    else:
+        speculation = lambda: make_speculation_policy(  # noqa: E731
+            spec.speculation
+        )
+    simulator = CentralizedSimulator(
+        cluster=Cluster(num_machines=slots, slots_per_machine=1),
+        policy=policy,
+        speculation=speculation,
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoRedrawStragglerModel(beta=beta),
+        config=CentralizedConfig(
+            learn_beta=False,
+            default_beta=beta,
+            epsilon=1.0,
+            speculation_check_interval=0.25,
+            preempt_speculative=False,
+            max_copies_cap=6,
+        ),
+        random_source=RandomSource(seed=base_seed + repetition),
+    )
+    return simulator.run()
+
+
+def _straggler_model_knob() -> Knob:
+    return Knob(
+        "straggler_model",
+        type=str,
+        default="pareto-redraw",
+        description="straggler model name (see STRAGGLER_MODELS)",
+        validator=lambda v: v in STRAGGLER_MODELS,
+    )
+
+
+_CENTRALIZED_KNOBS = (
+    Knob(
+        "epsilon",
+        type=float,
+        default=0.1,
+        description="Hopper fairness knob (0 = perfectly fair floors)",
+        validator=lambda v: 0.0 <= v <= 1.0,
+    ),
+    Knob(
+        "locality_k_percent",
+        type=float,
+        default=3.0,
+        description="data-locality allowance k (percent)",
+        validator=lambda v: v >= 0.0,
+    ),
+    Knob(
+        "speculation_mode",
+        type=str,
+        default=None,
+        description="integrated | best_effort | budgeted",
+        validator=lambda v: v in ("integrated", "best_effort", "budgeted"),
+    ),
+    Knob(
+        "with_locality",
+        type=bool,
+        default=False,
+        description="attach a DataStore and track locality",
+    ),
+    Knob(
+        "slots_per_machine",
+        type=int,
+        default=4,
+        description="slots per simulated machine",
+        validator=lambda v: v >= 1,
+    ),
+    _straggler_model_knob(),
+)
+
+_DECENTRALIZED_KNOBS = (
+    Knob(
+        "epsilon",
+        type=float,
+        default=None,
+        description="fairness knob override (default per system)",
+        validator=lambda v: 0.0 <= v <= 1.0,
+    ),
+    Knob(
+        "probe_ratio",
+        type=float,
+        default=None,
+        description="probes per task d (default 2 baseline / 4 Hopper)",
+        validator=lambda v: v > 0.0,
+    ),
+    Knob(
+        "refusal_threshold",
+        type=int,
+        default=2,
+        description="max refusals before a probe must accept",
+        validator=lambda v: v >= 0,
+    ),
+    Knob(
+        "num_schedulers",
+        type=int,
+        default=10,
+        description="independent schedulers sharing the cluster",
+        validator=lambda v: v >= 1,
+    ),
+    Knob(
+        "until",
+        type=float,
+        default=None,
+        description="optional simulation horizon (virtual seconds)",
+        validator=lambda v: v > 0.0,
+    ),
+    _straggler_model_knob(),
+)
+
+_SINGLE_JOB_KNOBS = (
+    Knob(
+        "beta",
+        type=float,
+        default=1.4,
+        description="Pareto tail index of task durations",
+        validator=lambda v: v > 0.0,
+    ),
+    Knob(
+        "num_tasks",
+        type=int,
+        default=200,
+        description="tasks in the single-phase job",
+        validator=lambda v: v >= 1,
+    ),
+    Knob(
+        "normalized_slots",
+        type=float,
+        default=1.0,
+        description="slot budget as a fraction of num_tasks",
+        validator=lambda v: v > 0.0,
+    ),
+)
+
+SPEC_KINDS.register(
+    "centralized",
+    SpecKind(
+        name="centralized",
+        systems=CENTRALIZED_SYSTEMS,
+        knobs={knob.name: knob for knob in _CENTRALIZED_KNOBS},
+        run=_run_centralized_spec,
+        description="one omniscient scheduler over the whole cluster",
+    ),
+    description="one omniscient scheduler over the whole cluster",
+)
+SPEC_KINDS.register(
+    "decentralized",
+    SpecKind(
+        name="decentralized",
+        systems=DECENTRALIZED_SYSTEMS,
+        knobs={knob.name: knob for knob in _DECENTRALIZED_KNOBS},
+        run=_run_decentralized_spec,
+        description="Sparrow-style probe-based schedulers (the paper's scale)",
+    ),
+    description="Sparrow-style probe-based schedulers (the paper's scale)",
+)
+SPEC_KINDS.register(
+    "single_job",
+    SpecKind(
+        name="single_job",
+        systems=SINGLE_JOB_SYSTEMS,
+        knobs={knob.name: knob for knob in _SINGLE_JOB_KNOBS},
+        run=_run_single_job_spec,
+        description="one synthetic job on a dedicated cluster (Fig. 3)",
+    ),
+    description="one synthetic job on a dedicated cluster (Fig. 3)",
+)
+
+
+__all__ = [
+    "Knob",
+    "Entry",
+    "type_label",
+    "Registry",
+    "RegistryError",
+    "UnknownEntryError",
+    "DuplicateEntryError",
+    "KnobError",
+    "SpecKind",
+    "DecentralizedSystemDefaults",
+    "SPEC_KINDS",
+    "CENTRALIZED_SYSTEMS",
+    "DECENTRALIZED_SYSTEMS",
+    "SINGLE_JOB_SYSTEMS",
+    "SPECULATION_POLICIES",
+    "STRAGGLER_MODELS",
+    "WORKLOAD_PROFILES",
+    "STUDIES",
+    "spec_kind",
+    "studies",
+    "make_straggler_model",
+]

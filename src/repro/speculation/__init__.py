@@ -22,15 +22,10 @@ __all__ = [
 
 
 def make_speculation_policy(name: str, **kwargs) -> SpeculationPolicy:
-    """Factory: build a speculation policy by name ('late', 'mantri',
-    'grass', 'none')."""
-    name = name.lower()
-    if name == "late":
-        return LATE(**kwargs)
-    if name == "mantri":
-        return Mantri(**kwargs)
-    if name == "grass":
-        return GRASS(**kwargs)
-    if name in ("none", "off"):
-        return NoSpeculation()
-    raise ValueError(f"unknown speculation policy: {name!r}")
+    """Factory: build a registered speculation policy by name ('late',
+    'mantri', 'grass', 'none'). Resolution goes through
+    :data:`repro.registry.SPECULATION_POLICIES`, so registered plugins
+    are constructible here too."""
+    from repro.registry import SPECULATION_POLICIES
+
+    return SPECULATION_POLICIES.get(name.lower()).factory(**kwargs)

@@ -16,4 +16,18 @@ __all__ = [
     "ParetoRedrawStragglerModel",
     "MachineCorrelatedStragglerModel",
     "TaskCopy",
+    "make_straggler_model",
 ]
+
+
+def make_straggler_model(name: str, profile=None, **kwargs) -> StragglerModel:
+    """Build a registered straggler model by name.
+
+    Resolution goes through :data:`repro.registry.STRAGGLER_MODELS`;
+    ``profile`` (a :class:`~repro.workload.generator.WorkloadProfile`)
+    parameterizes models that depend on the workload's tail, e.g.
+    ``pareto-redraw``.
+    """
+    from repro.registry import make_straggler_model as _make
+
+    return _make(name, profile, **kwargs)

@@ -12,7 +12,9 @@ into a first-class object:
 * :class:`SweepRunner` — deduplicating, cache-aware executor that fans
   cache misses across a process pool (serial fallback included), with
   parallel and serial execution guaranteed to produce identical results;
-* :func:`evaluate` — convenience wrapper used by the figure experiments.
+* :func:`evaluate` — convenience wrapper used by the figure experiments;
+* :class:`Study` / :class:`StudyResult` — named, declarative grids with
+  seed replication and bootstrap-CI aggregation (``repro study`` CLI).
 """
 
 from repro.sweep.cache import ResultCache, default_version_tag
@@ -29,6 +31,16 @@ from repro.sweep.spec import (
     RunSpec,
     WorkloadParams,
 )
+from repro.sweep.study import (
+    Cell,
+    CellAggregate,
+    Study,
+    StudyResult,
+    bootstrap_ci,
+    cell,
+    register_study,
+    with_axis,
+)
 
 __all__ = [
     "RunSpec",
@@ -42,4 +54,12 @@ __all__ = [
     "default_version_tag",
     "CENTRALIZED_SYSTEMS",
     "DECENTRALIZED_SYSTEMS",
+    "Cell",
+    "CellAggregate",
+    "Study",
+    "StudyResult",
+    "bootstrap_ci",
+    "cell",
+    "register_study",
+    "with_axis",
 ]

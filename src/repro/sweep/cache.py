@@ -16,8 +16,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.metrics.collector import SimulationResult
 from repro.metrics.serialize import result_from_dict, result_to_dict
@@ -125,3 +126,85 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+    # -- maintenance -----------------------------------------------------------
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Digest-count / bytes summary, one row per version namespace.
+
+        Rows are sorted by version tag; ``current`` marks the namespace
+        this cache handle reads and writes.
+        """
+        rows: List[Dict[str, object]] = []
+        if not self.root.is_dir():
+            return rows
+        for directory in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            entries = 0
+            total_bytes = 0
+            for path in directory.glob("*.json"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+            rows.append(
+                {
+                    "version_tag": directory.name,
+                    "entries": entries,
+                    "bytes": total_bytes,
+                    "current": directory.name == self.version_tag,
+                }
+            )
+        return rows
+
+    def prune(
+        self,
+        older_than_days: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Remove stale entries; return ``(files_removed, bytes_freed)``.
+
+        Entries in namespaces other than the current version tag are
+        always stale (nothing reads them anymore). With
+        ``older_than_days``, entries older than the cutoff are removed
+        from the current namespace too. Emptied namespace directories
+        are deleted.
+        """
+        if older_than_days is not None and older_than_days < 0:
+            raise ValueError("older_than_days must be >= 0")
+        if not self.root.is_dir():
+            return (0, 0)
+        cutoff: Optional[float] = None
+        if older_than_days is not None:
+            cutoff = (now if now is not None else time.time()) - (
+                older_than_days * 86400.0
+            )
+        removed = 0
+        freed = 0
+        for directory in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            stale_namespace = directory.name != self.version_tag
+            for path in directory.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if not stale_namespace and (
+                    cutoff is None or stat.st_mtime >= cutoff
+                ):
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += stat.st_size
+            try:
+                next(directory.iterdir())
+            except StopIteration:
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
+            except OSError:
+                pass
+        return (removed, freed)

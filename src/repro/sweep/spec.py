@@ -10,6 +10,13 @@ as plain JSON-safe values. Two properties follow:
 * **content addressing** — :meth:`RunSpec.digest` is a stable SHA-256 of
   the canonical JSON form, which keys the on-disk result cache and
   deduplicates repeated runs inside a sweep.
+
+Names (spec kinds, systems, speculation policies, workload profiles,
+knob schemas) all resolve through :mod:`repro.registry`: registering a
+new system there makes it constructible and executable here with no
+further edits. The canonical dict form predates the registry and is
+frozen — existing cache entries stay valid across the migration (see
+the golden-digest tests).
 """
 
 from __future__ import annotations
@@ -19,36 +26,23 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
-#: Systems accepted per spec kind (mirrors the harness dispatch tables).
-CENTRALIZED_SYSTEMS = ("fair", "srpt", "hopper")
-DECENTRALIZED_SYSTEMS = ("sparrow", "sparrow-srpt", "hopper")
+from repro import registry as _registry
 
-#: Extra keyword knobs forwarded to the harness runners, per kind. Kept
-#: explicit so a typo in a sweep definition fails at spec construction
-#: rather than deep inside a worker process.
-CENTRALIZED_KNOBS = frozenset(
-    {
-        "epsilon",
-        "locality_k_percent",
-        "speculation_mode",
-        "with_locality",
-        "slots_per_machine",
-    }
-)
-DECENTRALIZED_KNOBS = frozenset(
-    {
-        "epsilon",
-        "probe_ratio",
-        "refusal_threshold",
-        "num_schedulers",
-        "until",
-    }
-)
+#: Snapshot of the registered system names at import time, kept for
+#: backward compatibility. Validation uses the live registries, so
+#: systems registered later are accepted by RunSpec even though they do
+#: not appear in these tuples.
+CENTRALIZED_SYSTEMS = _registry.CENTRALIZED_SYSTEMS.names()
+DECENTRALIZED_SYSTEMS = _registry.DECENTRALIZED_SYSTEMS.names()
+
+#: Knob names per kind (snapshots of the registry schemas).
+CENTRALIZED_KNOBS = frozenset(_registry.spec_kind("centralized").knobs)
+DECENTRALIZED_KNOBS = frozenset(_registry.spec_kind("decentralized").knobs)
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
 #: Names accepted by :func:`repro.speculation.make_speculation_policy`.
-SPECULATION_ALGORITHMS = ("late", "mantri", "grass", "none", "off")
+SPECULATION_ALGORITHMS = _registry.SPECULATION_POLICIES.names()
 
 
 @dataclass(frozen=True)
@@ -56,7 +50,7 @@ class WorkloadParams:
     """JSON-safe mirror of :class:`repro.experiments.harness.WorkloadSpec`.
 
     The workload profile is referenced by registry name (see
-    :data:`repro.workload.generator.PROFILES`) instead of by object so
+    :data:`repro.registry.WORKLOAD_PROFILES`) instead of by object so
     the spec stays hashable and serializable.
     """
 
@@ -98,8 +92,30 @@ class WorkloadParams:
     def to_dict(self) -> Dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadParams":
+        """Strict deserialization: unknown keys fail loudly.
+
+        A stale or hand-edited cache entry must not silently deserialize
+        to a *different* workload than the one that produced the digest.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown WorkloadParams field(s) {unknown}; "
+                f"expected a subset of {sorted(known)} — the document may "
+                f"come from a stale cache entry or a newer code version"
+            )
+        return cls(**data)
+
 
 KnobsInput = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
+
+#: Canonical top-level keys of :meth:`RunSpec.to_dict`.
+_RUNSPEC_KEYS = frozenset(
+    {"kind", "system", "workload", "speculation", "run_seed", "knobs"}
+)
 
 
 @dataclass(frozen=True)
@@ -109,19 +125,22 @@ class RunSpec:
     Attributes
     ----------
     kind:
-        ``"centralized"`` or ``"decentralized"``.
+        A registered spec kind: ``"centralized"``, ``"decentralized"``
+        or ``"single_job"`` (see :data:`repro.registry.SPEC_KINDS`).
     system:
-        Policy/system name; see :data:`CENTRALIZED_SYSTEMS` /
-        :data:`DECENTRALIZED_SYSTEMS`.
+        System name, resolved in the kind's systems registry.
     workload:
-        Trace shape and generation seed.
+        Trace shape and generation seed. (``single_job`` specs use only
+        ``seed`` — the job is synthesized from the knobs.)
     speculation:
         Straggler-mitigation algorithm (``late``, ``mantri``, ``grass``).
     run_seed:
-        Seed for the replay's own random streams (straggler draws etc.).
+        Seed for the replay's own random streams (straggler draws etc.);
+        for ``single_job`` specs, the repetition index.
     knobs:
-        Extra scalar keyword arguments forwarded to the harness runner
-        (normalized to a sorted tuple of pairs so the spec hashes).
+        Extra scalar keyword arguments, validated against the kind's
+        typed knob schema and normalized to a sorted tuple of pairs so
+        the spec hashes.
     """
 
     kind: str
@@ -132,43 +151,20 @@ class RunSpec:
     knobs: KnobsInput = ()
 
     def __post_init__(self) -> None:
-        if self.kind == "centralized":
-            valid_systems, valid_knobs = CENTRALIZED_SYSTEMS, CENTRALIZED_KNOBS
-        elif self.kind == "decentralized":
-            valid_systems, valid_knobs = (
-                DECENTRALIZED_SYSTEMS,
-                DECENTRALIZED_KNOBS,
-            )
-        else:
-            raise ValueError(
-                f"kind must be 'centralized' or 'decentralized', "
-                f"got {self.kind!r}"
-            )
-        if self.system not in valid_systems:
-            raise ValueError(
-                f"unknown {self.kind} system {self.system!r}; "
-                f"expected one of {valid_systems}"
-            )
-        if self.speculation not in SPECULATION_ALGORITHMS:
-            raise ValueError(
-                f"unknown speculation algorithm {self.speculation!r}; "
-                f"expected one of {SPECULATION_ALGORITHMS}"
-            )
+        kind = _registry.spec_kind(self.kind)
+        kind.systems.get(self.system)
+        _registry.SPECULATION_POLICIES.get(self.speculation)
         items = (
             tuple(sorted(self.knobs.items()))
             if isinstance(self.knobs, Mapping)
             else tuple(tuple(pair) for pair in sorted(self.knobs))
         )
         for key, value in items:
-            if key not in valid_knobs:
-                raise ValueError(
-                    f"unknown {self.kind} knob {key!r}; "
-                    f"expected one of {sorted(valid_knobs)}"
-                )
             if not isinstance(value, _SCALAR_TYPES):
                 raise ValueError(
                     f"knob {key!r} must be a JSON scalar, got {value!r}"
                 )
+        kind.validate_knobs(items)
         object.__setattr__(self, "knobs", items)
 
     # -- content addressing ----------------------------------------------------
@@ -186,10 +182,20 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Strict deserialization: unknown keys fail loudly (see
+        :meth:`WorkloadParams.from_dict`)."""
+        unknown = sorted(set(data) - _RUNSPEC_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec field(s) {unknown}; "
+                f"expected a subset of {sorted(_RUNSPEC_KEYS)} — the "
+                f"document may come from a stale cache entry or a newer "
+                f"code version"
+            )
         return cls(
             kind=data["kind"],
             system=data["system"],
-            workload=WorkloadParams(**data["workload"]),
+            workload=WorkloadParams.from_dict(data["workload"]),
             speculation=data.get("speculation", "late"),
             run_seed=data.get("run_seed", 7),
             knobs=data.get("knobs", {}),
@@ -217,36 +223,7 @@ class RunSpec:
 
         Deterministic: the trace is rebuilt from ``workload.seed`` and the
         replay reseeded from ``run_seed``, so the outcome is identical in
-        any process.
+        any process. Dispatch goes through the spec-kind registry, so
+        registered kinds (including plugins) execute with no edits here.
         """
-        from repro.experiments.harness import (
-            build_trace,
-            run_centralized,
-            run_decentralized,
-        )
-
-        wspec = self.workload.to_workload_spec()
-        trace = build_trace(wspec)
-        kwargs = {k: v for k, v in self.knobs}
-        if self.kind == "centralized":
-            mode = kwargs.pop("speculation_mode", None)
-            if mode is not None:
-                from repro.centralized.config import SpeculationMode
-
-                kwargs["speculation_mode"] = SpeculationMode(mode)
-            return run_centralized(
-                trace,
-                self.system,
-                wspec,
-                speculation=self.speculation,
-                run_seed=self.run_seed,
-                **kwargs,
-            )
-        return run_decentralized(
-            trace,
-            self.system,
-            wspec,
-            speculation=self.speculation,
-            run_seed=self.run_seed,
-            **kwargs,
-        )
+        return _registry.spec_kind(self.kind).run(self)

@@ -204,9 +204,12 @@ BING_PROFILE = WorkloadProfile(
 )
 
 
-#: Registry of the built-in workload profiles, keyed by ``profile.name``.
-#: The sweep subsystem references profiles by name so that a
-#: :class:`repro.sweep.RunSpec` stays hashable and JSON-serializable.
+#: The built-in workload profiles, keyed by ``profile.name``. This is a
+#: snapshot kept for backward compatibility — the authoritative table is
+#: :data:`repro.registry.WORKLOAD_PROFILES`, which also holds profiles
+#: registered by plugins. The sweep subsystem references profiles by
+#: name so that a :class:`repro.sweep.RunSpec` stays hashable and
+#: JSON-serializable.
 PROFILES = {
     profile.name: profile
     for profile in (
@@ -219,14 +222,14 @@ PROFILES = {
 
 
 def profile_by_name(name: str) -> WorkloadProfile:
-    """Look up a built-in :class:`WorkloadProfile` by its ``name``."""
-    try:
-        return PROFILES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload profile {name!r}; "
-            f"known profiles: {sorted(PROFILES)}"
-        ) from None
+    """Look up a registered :class:`WorkloadProfile` by its ``name``.
+
+    Resolution goes through :data:`repro.registry.WORKLOAD_PROFILES`, so
+    profiles registered after import are found too.
+    """
+    from repro.registry import WORKLOAD_PROFILES
+
+    return WORKLOAD_PROFILES.get(name).factory
 
 
 class TraceGenerator:

@@ -71,6 +71,79 @@ def test_sweep_rejects_unknown_system(capsys):
     assert "unknown decentralized system" in capsys.readouterr().err
 
 
+def test_cache_stats_and_prune_commands(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    main(
+        [
+            "run",
+            "fig7",
+            "--quick",
+            "--serial",
+            "--cache",
+            "--cache-dir",
+            cache_dir,
+        ]
+    )
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Cache stats" in out
+    assert "2 entr(ies)" in out
+
+    # A stale version namespace appears in stats and prune removes it.
+    from repro.sweep import ResultCache, RunSpec, WorkloadParams
+
+    stale = ResultCache(root=cache_dir, version_tag="v0.0.0-stale")
+    spec = RunSpec(
+        "decentralized",
+        "hopper",
+        WorkloadParams(
+            profile="spark-facebook",
+            num_jobs=10,
+            utilization=0.6,
+            total_slots=40,
+            max_phase_tasks=20,
+        ),
+    )
+    stale.put(spec, spec.execute())
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "v0.0.0-stale" in capsys.readouterr().out
+
+    assert main(["cache", "prune", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 entr(ies)" in out
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "entries         : 2" in capsys.readouterr().out
+
+    assert (
+        main(
+            [
+                "cache",
+                "prune",
+                "--older-than",
+                "0",
+                "--cache-dir",
+                cache_dir,
+            ]
+        )
+        == 0
+    )
+    assert "pruned 2 entr(ies)" in capsys.readouterr().out
+
+
+def test_cache_rejects_conflicting_flags(tmp_path, capsys):
+    cache_dir = str(tmp_path)
+    assert main(["cache", "stats", "--clear", "--cache-dir", cache_dir]) == 2
+    assert "--clear" in capsys.readouterr().err
+    assert main(["cache", "prune", "--clear", "--cache-dir", cache_dir]) == 2
+    capsys.readouterr()
+    assert (
+        main(["cache", "--older-than", "30", "--cache-dir", cache_dir]) == 2
+    )
+    assert "--older-than" in capsys.readouterr().err
+
+
 def test_cache_info_and_clear(tmp_path, capsys):
     cache_dir = str(tmp_path)
     assert main(["cache", "--cache-dir", cache_dir]) == 0

@@ -1,0 +1,283 @@
+"""Tests for repro.registry: lookup errors, knob schemas, pluggability,
+and CLI agreement with registry contents."""
+
+import pytest
+
+from repro import registry
+from repro.cli import main
+from repro.speculation import make_speculation_policy
+from repro.stragglers import make_straggler_model
+from repro.stragglers.model import NoStragglerModel, ParetoRedrawStragglerModel
+from repro.sweep import RunSpec, WorkloadParams
+from repro.workload.generator import FACEBOOK_PROFILE, profile_by_name
+
+
+TINY = WorkloadParams(
+    profile="spark-facebook",
+    num_jobs=10,
+    utilization=0.6,
+    total_slots=40,
+    max_phase_tasks=20,
+)
+
+
+# -- unknown-name errors ----------------------------------------------------
+
+
+def test_unknown_kind_error_names_registry_and_lists_entries():
+    with pytest.raises(ValueError) as excinfo:
+        RunSpec("bogus-kind", "hopper", TINY)
+    message = str(excinfo.value)
+    assert "spec kind" in message
+    assert "'bogus-kind'" in message
+    for kind in ("centralized", "decentralized", "single_job"):
+        assert kind in message
+
+
+def test_unknown_system_error_names_registry_and_lists_entries():
+    with pytest.raises(ValueError) as excinfo:
+        RunSpec("decentralized", "bogus-system", TINY)
+    message = str(excinfo.value)
+    assert "decentralized system" in message
+    for system in ("sparrow", "sparrow-srpt", "hopper"):
+        assert system in message
+
+
+def test_unknown_speculation_error_lists_entries():
+    with pytest.raises(ValueError) as excinfo:
+        make_speculation_policy("bogus-speculation")
+    message = str(excinfo.value)
+    assert "speculation policy" in message
+    for name in ("late", "mantri", "grass", "none"):
+        assert name in message
+
+
+def test_unknown_profile_error_lists_entries():
+    with pytest.raises(ValueError) as excinfo:
+        profile_by_name("bogus-profile")
+    message = str(excinfo.value)
+    assert "workload profile" in message
+    assert "facebook" in message and "bing" in message
+
+
+def test_unknown_straggler_model_error():
+    with pytest.raises(ValueError) as excinfo:
+        make_straggler_model("bogus-model")
+    message = str(excinfo.value)
+    assert "straggler model" in message
+    assert "pareto-redraw" in message
+
+
+def test_unknown_study_error():
+    with pytest.raises(ValueError) as excinfo:
+        registry.studies().get("bogus-study")
+    message = str(excinfo.value)
+    assert "study" in message
+    assert "fig6" in message
+
+
+# -- registration rules -----------------------------------------------------
+
+
+def test_duplicate_registration_raises():
+    reg = registry.Registry("test thing")
+    reg.register("alpha", object(), description="first")
+    with pytest.raises(registry.DuplicateEntryError) as excinfo:
+        reg.register("alpha", object(), description="second")
+    assert "test thing" in str(excinfo.value)
+    assert "alpha" in str(excinfo.value)
+    # replace=True is the explicit override path.
+    reg.register("alpha", object(), description="third", replace=True)
+    assert reg.get("alpha").description == "third"
+
+
+def test_registry_rejects_bad_names():
+    reg = registry.Registry("test thing")
+    with pytest.raises(registry.RegistryError):
+        reg.register("", object())
+    with pytest.raises(registry.RegistryError):
+        reg.register(None, object())
+
+
+def test_unregister_removes_entry():
+    reg = registry.Registry("test thing")
+    reg.register("alpha", object())
+    assert "alpha" in reg
+    reg.unregister("alpha")
+    assert "alpha" not in reg
+    reg.unregister("alpha")  # idempotent
+
+
+def test_registry_iteration_and_order():
+    reg = registry.Registry("test thing")
+    reg.register("b", 1)
+    reg.register("a", 2)
+    assert reg.names() == ("b", "a")  # insertion order, not sorted
+    assert list(reg) == ["b", "a"]
+    assert len(reg) == 2
+
+
+# -- knob schemas -----------------------------------------------------------
+
+
+def test_knob_schema_rejects_wrong_types():
+    with pytest.raises(ValueError, match="probe_ratio"):
+        RunSpec(
+            "decentralized", "hopper", TINY, knobs={"probe_ratio": "fast"}
+        )
+    with pytest.raises(ValueError, match="with_locality"):
+        RunSpec(
+            "centralized", "hopper", TINY, knobs={"with_locality": 1}
+        )  # int is not a flag
+    with pytest.raises(ValueError, match="refusal_threshold"):
+        RunSpec(
+            "decentralized",
+            "hopper",
+            TINY,
+            knobs={"refusal_threshold": 2.5},
+        )
+    # int where float is expected is fine
+    RunSpec("decentralized", "hopper", TINY, knobs={"probe_ratio": 4})
+
+
+def test_knob_validator_rejects_out_of_range():
+    with pytest.raises(ValueError, match="probe_ratio"):
+        RunSpec(
+            "decentralized", "hopper", TINY, knobs={"probe_ratio": -1.0}
+        )
+    with pytest.raises(ValueError, match="epsilon"):
+        RunSpec("centralized", "hopper", TINY, knobs={"epsilon": 3.0})
+    with pytest.raises(ValueError, match="speculation_mode"):
+        RunSpec(
+            "centralized",
+            "hopper",
+            TINY,
+            knobs={"speculation_mode": "warp-speed"},
+        )
+
+
+def test_unknown_knob_error_lists_schema():
+    with pytest.raises(ValueError) as excinfo:
+        RunSpec("decentralized", "hopper", TINY, knobs={"bogus_knob": 1})
+    message = str(excinfo.value)
+    assert "bogus_knob" in message
+    assert "probe_ratio" in message
+
+
+def test_straggler_model_knob_is_validated_and_runs():
+    with pytest.raises(ValueError, match="straggler_model"):
+        RunSpec(
+            "decentralized",
+            "hopper",
+            TINY,
+            knobs={"straggler_model": "bogus"},
+        )
+    spec = RunSpec(
+        "decentralized",
+        "hopper",
+        TINY,
+        knobs={"straggler_model": "none"},
+    )
+    result = spec.execute()
+    assert result.num_jobs == TINY.num_jobs
+
+
+# -- factories --------------------------------------------------------------
+
+
+def test_make_straggler_model_builds_profile_parameterized_models():
+    model = make_straggler_model("pareto-redraw", FACEBOOK_PROFILE)
+    assert isinstance(model, ParetoRedrawStragglerModel)
+    assert model.beta == FACEBOOK_PROFILE.beta
+    assert isinstance(make_straggler_model("none"), NoStragglerModel)
+
+
+def test_speculation_off_is_alias_of_none():
+    from repro.speculation.none import NoSpeculation
+
+    assert isinstance(make_speculation_policy("off"), NoSpeculation)
+    assert isinstance(make_speculation_policy("none"), NoSpeculation)
+
+
+# -- pluggability -----------------------------------------------------------
+
+
+def test_registered_system_is_usable_end_to_end():
+    """A system registered after import is constructible as a RunSpec
+    and executable through the harness with no other edits."""
+    from repro.centralized.policies import FairPolicy
+
+    registry.CENTRALIZED_SYSTEMS.register(
+        "test-fair-clone",
+        lambda epsilon: FairPolicy(),
+        description="test-only clone of the fair policy",
+    )
+    try:
+        spec = RunSpec("centralized", "test-fair-clone", TINY)
+        clone = spec.execute()
+        reference = RunSpec("centralized", "fair", TINY).execute()
+        assert clone.jobs == reference.jobs
+    finally:
+        registry.CENTRALIZED_SYSTEMS.unregister("test-fair-clone")
+    with pytest.raises(ValueError):
+        RunSpec("centralized", "test-fair-clone", TINY)
+
+
+def test_registered_speculation_policy_is_resolvable():
+    from repro.speculation.none import NoSpeculation
+
+    registry.SPECULATION_POLICIES.register(
+        "test-noop", lambda **kwargs: NoSpeculation()
+    )
+    try:
+        assert isinstance(
+            make_speculation_policy("test-noop"), NoSpeculation
+        )
+        spec = RunSpec(
+            "decentralized", "hopper", TINY, speculation="test-noop"
+        )
+        assert spec.speculation == "test-noop"
+    finally:
+        registry.SPECULATION_POLICIES.unregister("test-noop")
+
+
+def test_registered_profile_is_resolvable_by_workload_params():
+    from repro.workload.generator import WorkloadProfile
+
+    profile = WorkloadProfile(
+        name="test-profile",
+        beta=1.5,
+        task_scale=1.0,
+        job_size=FACEBOOK_PROFILE.job_size,
+        dag_length=FACEBOOK_PROFILE.dag_length,
+    )
+    registry.WORKLOAD_PROFILES.register("test-profile", profile)
+    try:
+        assert profile_by_name("test-profile") is profile
+        params = WorkloadParams(profile="test-profile", num_jobs=5)
+        assert params.to_workload_spec().profile is profile
+    finally:
+        registry.WORKLOAD_PROFILES.unregister("test-profile")
+
+
+# -- CLI agreement ----------------------------------------------------------
+
+
+def test_repro_list_output_matches_registry_contents(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for kind_entry in registry.SPEC_KINDS.entries():
+        kind = kind_entry.factory
+        assert kind.name in out
+        for system in kind.systems.names():
+            assert system in out
+        for knob in kind.knobs:
+            assert knob in out
+    for name in registry.SPECULATION_POLICIES.names():
+        assert name in out
+    for name in registry.STRAGGLER_MODELS.names():
+        assert name in out
+    for name in registry.WORKLOAD_PROFILES.names():
+        assert name in out
+    for name in registry.studies().names():
+        assert name in out

@@ -115,6 +115,136 @@ def test_digest_golden_value():
     )
 
 
+#: Digests computed on the pre-registry implementation (PR 1). The
+#: registry migration must leave every one of them byte-identical, or
+#: every existing on-disk cache entry silently becomes unreachable.
+GOLDEN_PRE_REGISTRY_DIGESTS = {
+    "decentralized/hopper/defaults": (
+        RunSpec("decentralized", "hopper", WorkloadParams()),
+        "0871e3031296b0e48004b9e031a9610fc11aaa43cf88e74ff08abaaa1a4065a7",
+    ),
+    "centralized/srpt/fig12-shape": (
+        RunSpec(
+            "centralized",
+            "srpt",
+            WorkloadParams(
+                profile="facebook",
+                num_jobs=200,
+                utilization=0.7,
+                total_slots=200,
+                max_phase_tasks=300,
+            ),
+        ),
+        "2e08174361e0f8ae52037ae08313adaa9f801a5d3b3232696a7e2a049d6636cd",
+    ),
+    "centralized/hopper/locality-knobs": (
+        RunSpec(
+            "centralized",
+            "hopper",
+            WorkloadParams(
+                profile="facebook",
+                num_jobs=150,
+                utilization=0.7,
+                total_slots=200,
+                max_phase_tasks=200,
+                locality_machines=50,
+            ),
+            knobs={"with_locality": True, "locality_k_percent": 3.0},
+        ),
+        "8f0f9022cb2d0abc453c73e3ee6555502451a7c3aeff9e701078f50cd0f991be",
+    ),
+    "decentralized/sparrow/probe-knob": (
+        RunSpec(
+            "decentralized",
+            "sparrow",
+            WorkloadParams(
+                profile="spark-facebook",
+                num_jobs=120,
+                utilization=0.8,
+                total_slots=300,
+            ),
+            knobs={"probe_ratio": 2.0},
+        ),
+        "1370fd4d69dcb7d468a93a406622417822bc2246e34a90a25e0f2ea00a617267",
+    ),
+    "decentralized/sparrow-srpt/grass": (
+        RunSpec(
+            "decentralized",
+            "sparrow-srpt",
+            WorkloadParams(
+                profile="spark-bing",
+                num_jobs=150,
+                utilization=0.6,
+                total_slots=400,
+            ),
+            speculation="grass",
+            run_seed=11,
+        ),
+        "4764c6d73b767fcd95cb3adf7cfab988e6b34bc01a240dff9646907822cd278f",
+    ),
+    "decentralized/hopper/many-knobs": (
+        RunSpec(
+            "decentralized",
+            "hopper",
+            WorkloadParams(
+                profile="bing",
+                num_jobs=10,
+                utilization=0.6,
+                total_slots=40,
+                max_phase_tasks=20,
+            ),
+            knobs={
+                "epsilon": 0.1,
+                "refusal_threshold": 3,
+                "num_schedulers": 5,
+                "until": 500.0,
+            },
+        ),
+        "e54a50a112b457b64a4db8ff432c372d488ecc57cefc1b28e22a05928354f6cd",
+    ),
+    "centralized/fair/speculation-mode": (
+        RunSpec(
+            "centralized",
+            "fair",
+            WorkloadParams(),
+            speculation="none",
+            knobs={"speculation_mode": "best_effort", "slots_per_machine": 2},
+        ),
+        "872cf5a1ed506b9a5a8aa340c9e4df1cd78b5492feb57130653e1742fbfba0c5",
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "label", sorted(GOLDEN_PRE_REGISTRY_DIGESTS)
+)
+def test_pre_registry_digests_survive_the_registry_migration(label):
+    spec, expected = GOLDEN_PRE_REGISTRY_DIGESTS[label]
+    assert spec.digest() == expected
+
+
+def test_single_job_digest_golden_value():
+    """The new single_job kind's canonical form is cache-keying too —
+    pin it the day it is born."""
+    spec = RunSpec(
+        "single_job",
+        "hopper",
+        WorkloadParams(
+            profile="facebook",
+            num_jobs=1,
+            utilization=0.5,
+            total_slots=1,
+            seed=11,
+            max_phase_tasks=None,
+        ),
+        knobs={"beta": 1.4, "num_tasks": 200, "normalized_slots": 1.0},
+        run_seed=0,
+    )
+    assert spec.digest() == (
+        "dc8ce770642823eec77d94e9733fd7a399c70284976e4dca2a26ddb589e4210d"
+    )
+
+
 def test_spec_dict_round_trip():
     spec = RunSpec(
         "centralized",
@@ -142,6 +272,32 @@ def test_spec_validation():
         )
     with pytest.raises(ValueError):
         WorkloadParams(profile="no-such-profile")
+
+
+def test_from_dict_rejects_unknown_spec_keys():
+    doc = RunSpec("decentralized", "hopper", TINY).to_dict()
+    doc["bogus_field"] = 1
+    with pytest.raises(ValueError) as excinfo:
+        RunSpec.from_dict(doc)
+    message = str(excinfo.value)
+    assert "bogus_field" in message and "RunSpec" in message
+
+
+def test_from_dict_rejects_unknown_workload_keys():
+    doc = RunSpec("decentralized", "hopper", TINY).to_dict()
+    doc["workload"]["bogus_workload_field"] = 7
+    with pytest.raises(ValueError) as excinfo:
+        RunSpec.from_dict(doc)
+    message = str(excinfo.value)
+    assert "bogus_workload_field" in message
+    assert "WorkloadParams" in message
+
+
+def test_workload_params_from_dict_strict_and_round_trips():
+    params = WorkloadParams.from_dict(TINY.to_dict())
+    assert params == TINY
+    with pytest.raises(ValueError):
+        WorkloadParams.from_dict({**TINY.to_dict(), "stale_key": 0})
 
 
 def test_execute_matches_direct_harness_call():
@@ -247,6 +403,62 @@ def test_cache_clear(tmp_path):
     cache.put(spec, spec.execute())
     assert cache.clear() == 1
     assert cache.entry_count() == 0
+
+
+def _populate(cache: ResultCache, spec: RunSpec, result) -> None:
+    cache.put(spec, result)
+
+
+def test_cache_stats_reports_per_version_rows(tmp_path):
+    spec = RunSpec("decentralized", "hopper", TINY)
+    result = spec.execute()
+    current = ResultCache(root=tmp_path, version_tag="v2")
+    stale = ResultCache(root=tmp_path, version_tag="v1")
+    _populate(current, spec, result)
+    _populate(stale, spec, result)
+    rows = current.stats()
+    assert [row["version_tag"] for row in rows] == ["v1", "v2"]
+    assert all(row["entries"] == 1 for row in rows)
+    assert all(row["bytes"] > 0 for row in rows)
+    assert [row["current"] for row in rows] == [False, True]
+    assert ResultCache(root=tmp_path / "missing").stats() == []
+
+
+def test_cache_prune_removes_stale_version_namespaces(tmp_path):
+    spec = RunSpec("decentralized", "hopper", TINY)
+    result = spec.execute()
+    current = ResultCache(root=tmp_path, version_tag="v2")
+    stale = ResultCache(root=tmp_path, version_tag="v1")
+    _populate(current, spec, result)
+    _populate(stale, spec, result)
+    removed, freed = current.prune()
+    assert removed == 1 and freed > 0
+    # The stale namespace directory is gone; the current entry survives.
+    assert not (tmp_path / "v1").exists()
+    assert current.get(spec) == result
+
+
+def test_cache_prune_older_than_uses_mtimes(tmp_path):
+    import os as _os
+
+    cache = ResultCache(root=tmp_path, version_tag="v1")
+    old_spec = RunSpec("decentralized", "hopper", TINY)
+    new_spec = RunSpec("decentralized", "sparrow-srpt", TINY)
+    _populate(cache, old_spec, old_spec.execute())
+    _populate(cache, new_spec, new_spec.execute())
+    two_days_ago = 1_000_000_000.0
+    _os.utime(cache.path_for(old_spec), (two_days_ago, two_days_ago))
+    removed, freed = cache.prune(
+        older_than_days=1.0, now=two_days_ago + 2 * 86400.0
+    )
+    assert removed == 1 and freed > 0
+    assert cache.get(old_spec) is None
+    assert cache.get(new_spec) is not None
+
+
+def test_cache_prune_rejects_negative_age(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(root=tmp_path).prune(older_than_days=-1)
 
 
 # -- runner -----------------------------------------------------------------
