@@ -7,7 +7,7 @@ also ablates the 2/beta virtual-size multiplier (setting beta=2 makes the
 multiplier exactly 1, i.e. plain SRPT-with-speculation sizing).
 """
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.centralized.config import CentralizedConfig
 from repro.centralized.policies import HopperPolicy
@@ -66,7 +66,7 @@ def _experiment():
 
 def test_bench_ablation_regimes(benchmark):
     out = benchmark.pedantic(_experiment, rounds=1, iterations=1)
-    print_table(
+    report_table("ablation_regimes", 
         "Ablation: regime bifurcation and the 2/beta multiplier "
         "(mean job duration; lower is better)",
         ("variant", "mean job duration"),

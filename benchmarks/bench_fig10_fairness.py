@@ -1,6 +1,6 @@
 """Benchmark: Figure 10 — the fairness knob epsilon."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig10_fairness
 
@@ -15,7 +15,7 @@ def test_bench_fig10(benchmark):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("fig10", 
         "Fig 10: epsilon sensitivity (paper: gains rise for small eps and "
         "flatten after ~15%; at eps=10% fewer than ~4-5% of jobs slow "
         "down, mildly)",

@@ -1,6 +1,6 @@
 """Benchmark: Figure 11 — the probe-ratio sweep."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig11_probe_ratio
 from _runner import RUNNER
@@ -23,7 +23,7 @@ def test_bench_fig11(benchmark):
         for util, inner in out.items()
         for ratio, gain in sorted(inner.items())
     ]
-    print_table(
+    report_table("fig11", 
         "Fig 11: Hopper's gain vs Sparrow-SRPT by probe ratio "
         "(paper: gains increase up to ratio ~4)",
         ("utilization", "probe ratio", "reduction %"),

@@ -1,7 +1,6 @@
 """Benchmark: Figure 12 — centralized Hopper vs centralized SRPT."""
 
-import pytest
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig12_centralized
 
@@ -17,7 +16,7 @@ def test_bench_fig12(benchmark):
     rows = [("overall", out["overall"])]
     rows += [(f"bin {k}", v) for k, v in out["by_bin"].items()]
     rows += [(f"dag {k}", v) for k, v in sorted(out["by_dag_length"].items())]
-    print_table(
+    report_table("fig12", 
         "Fig 12: centralized Hopper vs SRPT+LATE (paper: ~50% overall, "
         "up to 80% per bin; gains hold across DAG lengths)",
         ("group", "reduction %"),

@@ -1,6 +1,6 @@
 """Benchmark: Figure 13 — the data-locality allowance k."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig13_locality
 
@@ -15,7 +15,7 @@ def test_bench_fig13(benchmark):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("fig13", 
         "Fig 13: locality allowance k (paper: small k increases locality; "
         "gains drop when k grows too large)",
         ("k %", "gain vs SRPT %", "fraction data-local"),

@@ -6,7 +6,7 @@ runner, so its (norm x repetition) grid parallelizes and caches like
 every other figure."""
 
 from _runner import RUNNER
-from _tables import print_table
+from _tables import report_table
 
 from repro.core.virtual_size import threshold_multiplier
 from repro.experiments.figures import fig3_threshold, knee_position
@@ -24,7 +24,7 @@ def _run(beta):
 
 def test_bench_fig3_beta_14(benchmark):
     curve = benchmark.pedantic(_run, args=(1.4,), rounds=1, iterations=1)
-    print_table(
+    report_table("fig3", 
         "Fig 3a (beta=1.4): completion vs normalized slots "
         f"(paper knee at {threshold_multiplier(1.4):.2f})",
         ("slots/tasks", "norm. completion"),
@@ -43,7 +43,7 @@ def test_bench_fig3_beta_14(benchmark):
 
 def test_bench_fig3_beta_16(benchmark):
     curve = benchmark.pedantic(_run, args=(1.6,), rounds=1, iterations=1)
-    print_table(
+    report_table("fig3", 
         "Fig 3b (beta=1.6): completion vs normalized slots "
         f"(paper knee at {threshold_multiplier(1.6):.2f})",
         ("slots/tasks", "norm. completion"),

@@ -2,7 +2,7 @@
 Facebook-like and Bing-like workloads."""
 
 import pytest
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig6_utilization_gains
 from _runner import RUNNER
@@ -21,7 +21,7 @@ def test_bench_fig6(benchmark, profile):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("fig6", 
         f"Fig 6 ({profile}): reduction (%) in avg job duration "
         "(paper: 50-60% at 60% util falling to <20% at >=80%)",
         ("utilization", "vs Sparrow", "vs Sparrow-SRPT"),

@@ -1,6 +1,6 @@
 """Benchmark: Figure 7 — gains by job-size bin."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig7_job_bins
 
@@ -11,7 +11,7 @@ def test_bench_fig7(benchmark):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("fig7", 
         "Fig 7: reduction (%) by job size bin vs Sparrow-SRPT "
         "(paper: small jobs 18-32%, large jobs >50%)",
         ("bin (tasks)", "reduction %"),

@@ -1,6 +1,6 @@
 """Benchmark: Figure 8a (CDF of gains) and 8b (gains vs DAG length)."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig8a_gain_cdf, fig8b_dag_length
 
@@ -11,7 +11,7 @@ def test_bench_fig8a_cdf(benchmark):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("fig8", 
         "Fig 8a: per-job gain distribution vs Sparrow-SRPT "
         "(paper: median above average, >70% at high percentiles, "
         "10th pct 10-15%)",
@@ -32,7 +32,7 @@ def test_bench_fig8b_dag_length(benchmark):
         iterations=1,
     )
     rows = sorted(out.items())
-    print_table(
+    report_table("fig8", 
         "Fig 8b: reduction (%) by DAG length (paper: gains hold across "
         "lengths)",
         ("DAG length", "reduction %"),

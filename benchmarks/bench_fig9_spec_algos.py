@@ -1,7 +1,7 @@
 """Benchmark: Figure 9 — gains are independent of the straggler
 mitigation algorithm (LATE / Mantri / GRASS)."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import fig9_speculation_algorithms
 
@@ -17,7 +17,7 @@ def test_bench_fig9(benchmark):
     rows = []
     for algo, bins in out.items():
         rows.append((algo, bins["overall"]))
-    print_table(
+    report_table("fig9", 
         "Fig 9: overall reduction (%) per speculation algorithm "
         "(paper: similar gains across LATE, Mantri, GRASS)",
         ("algorithm", "overall reduction %"),

@@ -1,6 +1,6 @@
 """Benchmark: the paper's §1/§7 headline gains."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.figures import headline_gains
 from _runner import RUNNER
@@ -12,7 +12,7 @@ def test_bench_headline(benchmark):
         rounds=1,
         iterations=1,
     )
-    print_table(
+    report_table("headline", 
         "Headline gains (paper: decentralized up to 66%, centralized up "
         "to 50%)",
         ("comparison", "reduction %"),

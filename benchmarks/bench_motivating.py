@@ -1,6 +1,6 @@
 """Benchmark: §3 motivating example (Figures 1a, 1b, 2; Table 1)."""
 
-from _tables import print_table
+from _tables import report_table
 
 from repro.experiments.motivating import run_motivating_example
 
@@ -10,7 +10,7 @@ def test_bench_motivating_example(benchmark):
         run_motivating_example, rounds=3, iterations=1
     )
     by_name = {r.strategy: r for r in results}
-    print_table(
+    report_table("motivating", 
         "Fig 1-2 / Table 1: strawmen vs Hopper (paper: 20/30, 12/32, 12/22)",
         ("strategy", "job A", "job B", "average"),
         [

@@ -1,0 +1,126 @@
+"""CI gate: fail when benchmark throughput regresses past a threshold.
+
+Compares a freshly produced benchmark JSON (``bench_scale.py --quick
+--output fresh.json``) against the committed baseline
+(``BENCH_scale.json``) and exits non-zero when events/sec fell by more
+than the allowed factor — by default 2x, loose enough to absorb the
+hardware gap between the machine that committed the baseline and a CI
+runner, tight enough to catch an accidentally quadratic event loop.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_scale.json --current fresh.json [--max-slowdown 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read benchmark JSON {path}: {exc}")
+    if not isinstance(doc, dict) or "aggregate" not in doc:
+        raise SystemExit(f"{path} is not a bench_scale result document")
+    return doc
+
+
+def _row_key(row: Dict[str, Any]) -> Tuple:
+    return (
+        row.get("total_slots"),
+        row.get("num_jobs"),
+        row.get("probe_ratio"),
+    )
+
+
+def check(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    max_slowdown: float,
+) -> int:
+    """Print a comparison and return the number of violations."""
+    violations = 0
+
+    def compare(label: str, base_rate: float, cur_rate: float) -> None:
+        nonlocal violations
+        if base_rate <= 0:
+            print(f"  {label}: baseline rate {base_rate:g} — skipped")
+            return
+        ratio = cur_rate / base_rate
+        verdict = "ok"
+        if cur_rate * max_slowdown < base_rate:
+            verdict = f"REGRESSION (> {max_slowdown:g}x slower)"
+            violations += 1
+        print(
+            f"  {label}: baseline {base_rate:,.0f} ev/s, "
+            f"current {cur_rate:,.0f} ev/s ({ratio:.2f}x) — {verdict}"
+        )
+
+    compare(
+        "aggregate",
+        float(baseline["aggregate"].get("events_per_sec", 0.0)),
+        float(current["aggregate"].get("events_per_sec", 0.0)),
+    )
+    base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
+    for row in current.get("rows", []):
+        base = base_rows.get(_row_key(row))
+        if base is None:
+            continue  # grid point absent from the baseline: informational
+        slots, jobs, d = _row_key(row)
+        compare(
+            f"slots={slots} jobs={jobs} d={d:g}",
+            float(base.get("events_per_sec", 0.0)),
+            float(row.get("events_per_sec", 0.0)),
+        )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_scale.json",
+        metavar="PATH",
+        help="committed baseline JSON (default: BENCH_scale.json)",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        metavar="PATH",
+        help="freshly produced benchmark JSON to validate",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help="fail when events/sec drops by more than this factor "
+        "(default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_slowdown <= 0:
+        parser.error("--max-slowdown must be positive")
+
+    baseline = _load(Path(args.baseline))
+    current = _load(Path(args.current))
+    print(
+        f"checking {args.current} against {args.baseline} "
+        f"(allowed slowdown: {args.max_slowdown:g}x)"
+    )
+    violations = check(baseline, current, args.max_slowdown)
+    if violations:
+        print(f"\n{violations} benchmark regression(s) detected", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

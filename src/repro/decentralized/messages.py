@@ -12,7 +12,7 @@ approximation is called out in DESIGN.md.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class ResponseType(enum.Enum):
@@ -30,7 +30,7 @@ class SchedulerReply(enum.Enum):
     NO_TASK = "no_task"  # job finished / nothing left — purge requests
 
 
-@dataclass
+@dataclass(slots=True)
 class JobGossip:
     """Piggybacked per-job state, written by the scheduler.
 
@@ -56,7 +56,7 @@ class JobGossip:
     active: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A reservation request queued at one worker.
 

@@ -13,11 +13,10 @@ import math
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from repro.core.virtual_size import virtual_size
 from repro.decentralized.messages import JobGossip, Request, ResponseType
 from repro.speculation.base import JobExecutionView, SpeculationPolicy
 from repro.workload.job import Job
-from repro.workload.task import Task
+from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.decentralized.simulator import DecentralizedSimulator
@@ -79,14 +78,16 @@ class SchedulerJob:
         return fresh
 
     def next_pending(self) -> Optional[Task]:
-        while self.pending and self.pending[0].is_finished:
-            self.pending.popleft()
-        return self.pending.popleft() if self.pending else None
+        pending = self.pending
+        while pending and pending[0].state is TaskState.FINISHED:
+            pending.popleft()
+        return pending.popleft() if pending else None
 
     def has_pending(self) -> bool:
-        while self.pending and self.pending[0].is_finished:
-            self.pending.popleft()
-        return bool(self.pending)
+        pending = self.pending
+        while pending and pending[0].state is TaskState.FINISHED:
+            pending.popleft()
+        return bool(pending)
 
 
 class SchedulerAgent:
@@ -95,7 +96,24 @@ class SchedulerAgent:
     def __init__(self, scheduler_id: int, sim: "DecentralizedSimulator") -> None:
         self.scheduler_id = scheduler_id
         self.sim = sim
+        # Hot-path handles: the engine's clock is read on every offer and
+        # every candidate-cache check. Config is immutable after simulator
+        # construction, so its per-offer scalars are snapshotted here.
+        self._engine = sim.sim
         self.jobs: Dict[int, SchedulerJob] = {}
+        config = sim.config
+        self._fairness_off = config.epsilon >= 1.0
+        # (1 - eps) * slots, pre-multiplied so _fair_share keeps the exact
+        # float operation order of ((1 - eps) * slots) / n_est.
+        self._fair_numerator = (1.0 - config.epsilon) * sim.total_slots
+        self._num_schedulers = config.num_schedulers
+        self._use_alpha = config.use_alpha
+        from repro.decentralized.config import WorkerPolicy
+
+        self._spec_eligible_requests = (
+            config.worker_policy is WorkerPolicy.HOPPER
+        )
+        self._send = sim.send
 
     # -- job lifecycle -----------------------------------------------------
 
@@ -121,9 +139,7 @@ class SchedulerAgent:
         """Hopper's coordination: every reservation request can be
         redeemed for a speculative copy. The baselines must issue fresh
         probes per speculative copy instead (see Request.spec_ok)."""
-        from repro.decentralized.config import WorkerPolicy
-
-        return self.sim.config.worker_policy is WorkerPolicy.HOPPER
+        return self._spec_eligible_requests
 
     def _send_probes(
         self, sj: SchedulerJob, num_tasks: int, spec_ok: Optional[bool] = None
@@ -142,11 +158,13 @@ class SchedulerAgent:
         sj.probes_sent += count
         workers = self.sim.sample_workers(count)
         now = self.sim.sim.now
+        # One immutable Request serves the whole burst: each worker
+        # queues it in its own list, so sharing is observationally
+        # identical to per-worker instances (and k-1 allocations cheaper).
+        request = Request(gossip=sj.gossip, enqueue_time=now, spec_ok=spec_ok)
+        send = self.sim.send
         for worker in workers:
-            request = Request(
-                gossip=sj.gossip, enqueue_time=now, spec_ok=spec_ok
-            )
-            self.sim.send(worker.on_request, request)
+            send(worker.on_request, request)
         sj.last_activity = now
 
     def _send_baseline_spec_probes(self, sj: SchedulerJob) -> None:
@@ -164,35 +182,49 @@ class SchedulerAgent:
 
     # -- gossip / estimation -----------------------------------------------
 
-    def _virtual_size(self, sj: SchedulerJob) -> float:
+    def _virtual_size(
+        self, sj: SchedulerJob, remaining: Optional[int] = None
+    ) -> float:
         beta = self.sim.beta()
         alpha = 1.0
-        if self.sim.config.use_alpha and sj.job.num_phases > 1:
+        if self._use_alpha and len(sj.job.phases) > 1:
             alpha = self.sim.alpha_estimator.predict_alpha(sj.job)
-        return virtual_size(sj.job.remaining_tasks(), beta, alpha)
+        if remaining is None:
+            remaining = sj.job.remaining_tasks()
+        # Inlined repro.core.virtual_size.virtual_size (identical float
+        # operations in identical order) — this runs per gossip refresh.
+        if remaining == 0:
+            return 0.0
+        threshold = 2.0 / beta
+        if threshold < 1.0:
+            threshold = 1.0
+        size = threshold * remaining * math.sqrt(alpha)
+        remaining_f = float(remaining)
+        return size if size > remaining_f else remaining_f
 
     def _fair_share(self) -> float:
         """Approximate ε-fair floor using only local knowledge."""
         n_local = len(self.jobs)
         if n_local == 0:
             return 0.0
-        n_est = n_local * self.sim.config.num_schedulers
-        return (1.0 - self.sim.config.epsilon) * self.sim.total_slots / n_est
+        return self._fair_numerator / (n_local * self._num_schedulers)
 
     def _refresh_gossip(self, sj: SchedulerJob) -> None:
-        sj.gossip.virtual_size = self._virtual_size(sj)
-        sj.gossip.remaining_tasks = sj.job.remaining_tasks()
-        if self.sim.config.epsilon >= 1.0:
-            sj.gossip.starved = False
+        gossip = sj.gossip
+        remaining = sj.job.remaining_tasks()
+        gossip.virtual_size = self._virtual_size(sj, remaining)
+        gossip.remaining_tasks = remaining
+        if self._fairness_off:
+            gossip.starved = False
         else:
-            sj.gossip.starved = (
+            gossip.starved = (
                 sj.occupied < self._fair_share() and self._has_demand(sj)
             )
 
     # -- speculation --------------------------------------------------------
 
     def _candidates(self, sj: SchedulerJob) -> list:
-        now = self.sim.sim.now
+        now = self._engine._now
         if sj.spec_dirty or now - sj.spec_cache_time >= 0.25:
             sj.spec_candidates = sj.spec_policy.speculation_candidates(
                 sj.view, now
@@ -202,11 +234,17 @@ class SchedulerAgent:
         return sj.spec_candidates
 
     def _next_speculative_task(self, sj: SchedulerJob) -> Optional[Task]:
-        for request in self._candidates(sj):
+        candidates = self._candidates(sj)
+        if not candidates:
+            return None
+        copies_by_task = sj.view.copies_by_task
+        max_copies = sj.spec_policy.max_copies_per_task()
+        for request in candidates:
             task = request.task
             if task.is_finished:
                 continue
-            if len(sj.view.copies_of(task)) >= sj.spec_policy.max_copies_per_task():
+            live = copies_by_task.get(task.task_id)
+            if live is not None and len(live) >= max_copies:
                 continue
             return task
         return None
@@ -237,12 +275,12 @@ class SchedulerAgent:
         request,
         rtype: ResponseType,
     ) -> None:
-        job_id = request.job_id
+        job_id = request.gossip.job_id
         sj = self.jobs.get(job_id)
         if sj is None or sj.job.is_complete:
-            self.sim.send(worker.on_no_task, episode, request)
+            self._send(worker.on_no_task, episode, request)
             return
-        sj.last_activity = self.sim.sim.now
+        sj.last_activity = self._engine._now
         self._refresh_gossip(sj)
 
         task = sj.next_pending()
@@ -266,16 +304,16 @@ class SchedulerAgent:
 
         if task is not None:
             sj.occupied += 1  # reserve eagerly; confirmed when copy binds
-            self.sim.send(
+            self._send(
                 worker.on_accept, episode, request, task, speculative
             )
             return
 
         if not self._has_demand(sj) and sj.occupied == 0:
             # Nothing running and nothing to run: workers can drop us.
-            self.sim.send(worker.on_no_task, episode, request)
+            self._send(worker.on_no_task, episode, request)
             return
-        self.sim.send(
+        self._send(
             worker.on_refuse, episode, request, self._smallest_unsatisfied()
         )
 
@@ -328,7 +366,7 @@ class SchedulerAgent:
     def _nudge(self, sj: SchedulerJob) -> None:
         workers = self.sim.sample_workers(self.sim.config.nudge_probes)
         now = self.sim.sim.now
+        request = Request(gossip=sj.gossip, enqueue_time=now, spec_ok=True)
         for worker in workers:
-            request = Request(gossip=sj.gossip, enqueue_time=now, spec_ok=True)
             self.sim.send(worker.on_request, request)
         sj.last_activity = now

@@ -12,6 +12,12 @@ Sparrow (FIFO) and Sparrow-SRPT workers send only non-refusable offers and
 treat original and speculative reservation requests as distinct queue
 entries (speculative copies wait their turn — the §5.1 friction Hopper
 removes).
+
+Queue invariant: ``self.queue`` only ever contains requests of *active*
+jobs. Requests arriving for an already-completed job are dropped on
+arrival, and the simulator eagerly purges a job's queued requests from
+its holders (via the per-job request index) the moment it completes —
+so candidate scans never pay for tombstones of finished jobs.
 """
 
 from __future__ import annotations
@@ -34,14 +40,27 @@ class Episode:
     def __init__(self, worker: "Worker") -> None:
         self.worker = worker
         self.refusals = 0
-        # (job_id, spec_ok) pairs already offered during this episode
-        self.tried: Set[Tuple[int, bool]] = set()
+        # (job_id, spec_ok) pairs already offered during this episode,
+        # encoded as job_id*2 + spec_ok (cheaper to hash than tuples)
+        self.tried: Set[int] = set()
         # (virtual_size, job_id, scheduler_id) tuples learned from refusals
         self.unsatisfied: List[Tuple[float, int, int]] = []
 
 
 class Worker:
     """A machine with task slots and a queue of reservation requests."""
+
+    __slots__ = (
+        "worker_id",
+        "num_slots",
+        "sim",
+        "queue",
+        "busy_slots",
+        "pending_episodes",
+        "running",
+        "_policy",
+        "_refusal_threshold",
+    )
 
     def __init__(
         self,
@@ -56,6 +75,10 @@ class Worker:
         self.busy_slots = 0
         self.pending_episodes = 0  # episodes awaiting a scheduler reply
         self.running: List[TaskCopy] = []
+        # Config is immutable after simulator construction; snapshot the
+        # per-episode-step scalars.
+        self._policy = sim.config.worker_policy
+        self._refusal_threshold = sim.config.refusal_threshold
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -65,30 +88,43 @@ class Worker:
         return self.num_slots - self.busy_slots - self.pending_episodes
 
     def purge_job(self, job_id: int) -> None:
+        """Drop all queued requests of ``job_id`` (scheduler said no-task)."""
+        if not self.sim.worker_holds_job(job_id, self.worker_id):
+            return
+        before = len(self.queue)
         self.queue = [r for r in self.queue if r.job_id != job_id]
+        removed = before - len(self.queue)
+        if removed:
+            self.sim.note_requests_removed(job_id, self.worker_id, removed)
 
-    def _purge_inactive(self) -> None:
-        if any(not r.gossip.active for r in self.queue):
-            self.queue = [r for r in self.queue if r.gossip.active]
+    def drop_completed_job(self, job_id: int) -> None:
+        """Index-driven purge on job completion (index entry already
+        removed by the caller, so no unregistration here)."""
+        self.queue = [r for r in self.queue if r.job_id != job_id]
 
     def consume_request(self, request: Request) -> None:
         """Remove this exact queued request (on task assignment)."""
         try:
             self.queue.remove(request)
         except ValueError:
-            pass
+            return
+        self.sim.note_requests_removed(request.job_id, self.worker_id)
 
     # -- protocol ----------------------------------------------------------
 
     def on_request(self, request: Request) -> None:
         """A reservation request arrives (after network delay)."""
-        self.queue.append(request)
+        if request.gossip.active:
+            self.queue.append(request)
+            self.sim.note_request_queued(request.job_id, self.worker_id)
+        # A request that raced job completion is dropped, but may still
+        # wake the slot: with lazy purging its arrival would have
+        # triggered the same episode scan.
         self.maybe_start_episode()
 
     def maybe_start_episode(self) -> None:
-        if self.available_slots <= 0:
+        if self.num_slots - self.busy_slots - self.pending_episodes <= 0:
             return
-        self._purge_inactive()
         if not self.queue:
             return
         episode = Episode(self)
@@ -97,15 +133,18 @@ class Worker:
 
     def _candidates(self, episode: Episode) -> List[Request]:
         """One representative request per untried (job, spec_ok) pair."""
-        self._purge_inactive()
-        seen: Set[Tuple[int, bool]] = set()
+        # Seed the dedup set with the already-tried keys: one membership
+        # test per queued request instead of two (tried is tiny).
+        seen: Set[int] = set(episode.tried)
+        add = seen.add
         unique: List[Request] = []
+        append = unique.append
         for request in self.queue:
-            key = (request.job_id, request.spec_ok)
-            if key in episode.tried or key in seen:
+            key = request.gossip.job_id * 2 + request.spec_ok
+            if key in seen:
                 continue
-            seen.add(key)
-            unique.append(request)
+            add(key)
+            append(request)
         return unique
 
     def _episode_step(self, episode: Episode) -> None:
@@ -115,7 +154,7 @@ class Worker:
             self._finish_episode_idle(episode)
             return
 
-        policy = self.sim.config.worker_policy
+        policy = self._policy
         if policy is WorkerPolicy.FIFO:
             request = min(candidates, key=lambda r: r.enqueue_time)
             self._offer(episode, request, ResponseType.NON_REFUSABLE)
@@ -129,14 +168,38 @@ class Worker:
             return
 
         # HOPPER policy -------------------------------------------------
-        # Starved jobs (ε-fairness) are served before everything else.
-        starved = [r for r in candidates if r.gossip.starved]
-        if starved:
-            request = min(starved, key=lambda r: r.gossip.virtual_size)
-            self._offer(episode, request, ResponseType.REFUSABLE)
+        # One fused pass finds both the smallest starved request (served
+        # before everything else, ε-fairness) and the (virtual size,
+        # enqueue time)-smallest overall — first-minimal wins on ties,
+        # exactly like the min() calls this replaces.
+        best_starved: Optional[Request] = None
+        best_starved_vs = 0.0
+        best = candidates[0]
+        gossip = best.gossip
+        best_vs = gossip.virtual_size
+        best_time = best.enqueue_time
+        if gossip.starved:
+            best_starved = best
+            best_starved_vs = best_vs
+        for request in candidates:
+            gossip = request.gossip
+            vs = gossip.virtual_size
+            if gossip.starved and (
+                best_starved is None or vs < best_starved_vs
+            ):
+                best_starved = request
+                best_starved_vs = vs
+            if vs < best_vs or (
+                vs == best_vs and request.enqueue_time < best_time
+            ):
+                best = request
+                best_vs = vs
+                best_time = request.enqueue_time
+        if best_starved is not None:
+            self._offer(episode, best_starved, ResponseType.REFUSABLE)
             return
 
-        if episode.refusals >= self.sim.config.refusal_threshold:
+        if episode.refusals >= self._refusal_threshold:
             self.sim.metrics.record_guideline_decision(
                 constrained=bool(episode.unsatisfied)
             )
@@ -161,10 +224,7 @@ class Worker:
             self._offer(episode, request, ResponseType.NON_REFUSABLE)
             return
 
-        request = min(
-            candidates, key=lambda r: (r.gossip.virtual_size, r.enqueue_time)
-        )
-        self._offer(episode, request, ResponseType.REFUSABLE)
+        self._offer(episode, best, ResponseType.REFUSABLE)
 
     @staticmethod
     def _request_for(
@@ -192,8 +252,9 @@ class Worker:
         request: Request,
         rtype: ResponseType,
     ) -> None:
-        episode.tried.add((request.job_id, request.spec_ok))
-        scheduler = self.sim.schedulers[request.scheduler_id]
+        gossip = request.gossip
+        episode.tried.add(gossip.job_id * 2 + request.spec_ok)
+        scheduler = self.sim.schedulers[gossip.scheduler_id]
         self.sim.send(scheduler.on_slot_offer, self, episode, request, rtype)
 
     def _offer_direct(
@@ -214,7 +275,7 @@ class Worker:
         synthetic = Request(
             gossip=gossip, enqueue_time=self.sim.sim.now, spec_ok=True
         )
-        episode.tried.add((job_id, True))
+        episode.tried.add(job_id * 2 + 1)
         self.sim.send(scheduler.on_slot_offer, self, episode, synthetic, rtype)
 
     def _finish_episode_idle(self, episode: Episode) -> None:

@@ -25,6 +25,16 @@ class AlphaEstimator:
         self.network_rate = network_rate
         # (job name, phase index) -> list of observed output sizes
         self._history: Dict[Tuple[str, int], List[float]] = defaultdict(list)
+        # (job name, phase index) -> (running total, count); the running
+        # total accumulates in append order, so total/count is the exact
+        # float sum(history)/len(history) would produce.
+        self._sums: Dict[Tuple[str, int], Tuple[float, int]] = {}
+        # predict_alpha memo: job_id -> (finished tasks, history version,
+        # alpha). Alpha is a pure function of the job's per-phase finish
+        # counts (monotone, so their total identifies the state) and of
+        # the recorded history (versioned below).
+        self._alpha_cache: Dict[int, Tuple[int, int, float]] = {}
+        self._history_version = 0
         self._prediction_errors: List[float] = []
 
     # -- recording -------------------------------------------------------------
@@ -42,7 +52,11 @@ class AlphaEstimator:
             self._prediction_errors.append(
                 abs(predicted - output_data) / output_data
             )
-        self._history[(job_name, phase_index)].append(float(output_data))
+        key = (job_name, phase_index)
+        self._history[key].append(float(output_data))
+        total, count = self._sums.get(key, (0.0, 0))
+        self._sums[key] = (total + float(output_data), count + 1)
+        self._history_version += 1
 
     def observe_job(self, job: Job) -> None:
         """Record all phases of a completed job."""
@@ -56,10 +70,11 @@ class AlphaEstimator:
         self, job_name: str, phase_index: int
     ) -> Optional[float]:
         """Predicted output size, or None with no history."""
-        history = self._history.get((job_name, phase_index))
-        if not history:
+        entry = self._sums.get((job_name, phase_index))
+        if entry is None:
             return None
-        return sum(history) / len(history)
+        total, count = entry
+        return total / count
 
     def predict_alpha(self, job: Job) -> float:
         """Alpha using *predicted* intermediate sizes.
@@ -69,6 +84,17 @@ class AlphaEstimator:
         ``Job.alpha`` but substituting historical predictions for actual
         output sizes. Returns 1.0 when there is no applicable history.
         """
+        finished = 0
+        for phase in job.phases:
+            finished += phase._finished_count
+        cached = self._alpha_cache.get(job.job_id)
+        if (
+            cached is not None
+            and cached[0] == finished
+            and cached[1] == self._history_version
+        ):
+            return cached[2]
+
         upstream_work = 0.0
         downstream_comm = 0.0
         saw_prediction = False
@@ -87,8 +113,15 @@ class AlphaEstimator:
                         predicted * remaining_fraction / self.network_rate
                     )
         if not saw_prediction or upstream_work <= 0 or downstream_comm <= 0:
-            return 1.0
-        return downstream_comm / upstream_work
+            alpha = 1.0
+        else:
+            alpha = downstream_comm / upstream_work
+        self._alpha_cache[job.job_id] = (
+            finished,
+            self._history_version,
+            alpha,
+        )
+        return alpha
 
     # -- accuracy reporting ------------------------------------------------
 

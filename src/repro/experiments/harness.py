@@ -9,7 +9,7 @@ declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Optional, Union
 
 from repro import registry
 from repro.centralized.config import CentralizedConfig, SpeculationMode
@@ -81,12 +81,19 @@ def _centralized_policy(name: str, epsilon: float) -> CentralizedPolicy:
 def _resolve_straggler_model(
     straggler_model: Union[StragglerModel, str, None],
     profile: WorkloadProfile,
+    num_machines: Optional[int] = None,
 ) -> StragglerModel:
-    """Accept a model instance, a registry name, or None (paper default)."""
+    """Accept a model instance, a registry name, or None (paper default).
+
+    ``num_machines`` is the run's cluster size; machine-correlated models
+    require it (the runners below pass it automatically).
+    """
     if straggler_model is None:
         return default_straggler_model(profile)
     if isinstance(straggler_model, str):
-        return registry.make_straggler_model(straggler_model, profile)
+        return registry.make_straggler_model(
+            straggler_model, profile, num_machines=num_machines
+        )
     return straggler_model
 
 
@@ -140,7 +147,9 @@ def run_centralized(
         policy=policy_obj,
         speculation=lambda: make_speculation_policy(speculation),
         trace=trace.fresh_copy(),
-        straggler_model=_resolve_straggler_model(straggler_model, spec.profile),
+        straggler_model=_resolve_straggler_model(
+            straggler_model, spec.profile, num_machines=num_machines
+        ),
         config=config,
         datastore=datastore,
         random_source=RandomSource(seed=run_seed),
@@ -185,7 +194,9 @@ def run_decentralized(
         num_workers=spec.total_slots,
         speculation=lambda: make_speculation_policy(speculation),
         trace=trace.fresh_copy(),
-        straggler_model=_resolve_straggler_model(straggler_model, spec.profile),
+        straggler_model=_resolve_straggler_model(
+            straggler_model, spec.profile, num_machines=spec.total_slots
+        ),
         config=config,
         random_source=RandomSource(seed=run_seed),
         name=system,

@@ -1,0 +1,85 @@
+"""The ``scale`` study: decentralized scheduling at 10k+-slot clusters.
+
+The paper's decentralized results run at a few hundred slots; the
+interesting regime for a *decentralized* design is the one where a
+central scheduler could not keep up. This study sweeps cluster size
+(1k -> 20k slots) crossed with the probe ratio d, under the Spark-like
+Facebook workload, on decentralized Hopper vs Sparrow-SRPT. It became
+tractable when the simulator's hot path was batched/indexed (see
+``repro.simulation.engine`` and ``repro.decentralized.simulator``);
+``benchmarks/bench_scale.py`` tracks the events/sec this regime runs at
+and gates CI on it.
+
+Run it like any registered study::
+
+    python -m repro study scale --quick          # >=10k slots, seconds
+    python -m repro study scale --seeds 1,2,3    # full grid, CI tables
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sweep import RunSpec, WorkloadParams
+from repro.sweep.study import Cell, Study, cell, register_study
+
+
+def _scale_cells(
+    cluster_sizes: Sequence[int] = (1000, 2500, 5000, 10000, 20000),
+    probe_ratios: Sequence[float] = (2.0, 4.0),
+    systems: Sequence[str] = ("hopper", "sparrow-srpt"),
+    num_jobs: int = 150,
+    utilization: float = 0.6,
+) -> List[Cell]:
+    cells: List[Cell] = []
+    for total_slots in cluster_sizes:
+        for system in systems:
+            for ratio in probe_ratios:
+                def make_spec(
+                    seed: int,
+                    total_slots: int = total_slots,
+                    system: str = system,
+                    ratio: float = ratio,
+                ) -> RunSpec:
+                    return RunSpec(
+                        "decentralized",
+                        system,
+                        WorkloadParams(
+                            profile="spark-facebook",
+                            num_jobs=num_jobs,
+                            utilization=utilization,
+                            total_slots=total_slots,
+                            seed=seed,
+                        ),
+                        knobs={"probe_ratio": ratio},
+                    )
+
+                cells.append(
+                    cell(
+                        make_spec,
+                        total_slots=total_slots,
+                        system=system,
+                        probe_ratio=ratio,
+                    )
+                )
+    return cells
+
+
+SCALE_STUDY = register_study(
+    Study(
+        name="scale",
+        description=(
+            "decentralized Hopper vs Sparrow-SRPT on 1k-20k-slot clusters "
+            "across probe ratios"
+        ),
+        build_cells=_scale_cells,
+        # --quick still covers the >=10k-slot regime (that is the point
+        # of the study); it trims the grid, not the cluster size.
+        quick=dict(
+            cluster_sizes=(2000, 10000),
+            probe_ratios=(4.0,),
+            systems=("hopper",),
+            num_jobs=40,
+        ),
+    )
+)

@@ -7,7 +7,7 @@ by id (both runs replay the same trace).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.metrics.collector import JobRecord, SimulationResult
 from repro.workload.generator import JOB_SIZE_BINS

@@ -272,13 +272,26 @@ def spec_kind(name: str) -> SpecKind:
 def studies() -> Registry:
     """The study registry, with the built-in studies loaded."""
     import repro.experiments.figures  # noqa: F401  (registers studies)
+    import repro.experiments.scale  # noqa: F401  (registers the scale study)
 
     return STUDIES
 
 
-def make_straggler_model(name: str, profile: Any = None, **kwargs: Any):
-    """Build a registered straggler model, parameterized by ``profile``."""
-    return STRAGGLER_MODELS.get(name).factory(profile, **kwargs)
+def make_straggler_model(
+    name: str,
+    profile: Any = None,
+    num_machines: Optional[int] = None,
+    **kwargs: Any,
+):
+    """Build a registered straggler model.
+
+    ``profile`` parameterizes distribution shapes; ``num_machines`` is
+    the per-run cluster size, required by machine-correlated models
+    (the harness passes it automatically) and ignored by i.i.d. ones.
+    """
+    return STRAGGLER_MODELS.get(name).factory(
+        profile, num_machines=num_machines, **kwargs
+    )
 
 
 # --------------------------------------------------------------------------
@@ -425,7 +438,7 @@ SPECULATION_POLICIES.register(
 )
 
 
-def _pareto_redraw_model(profile, **kwargs):
+def _pareto_redraw_model(profile, num_machines=None, **kwargs):
     from repro.stragglers.model import ParetoRedrawStragglerModel
     from repro.workload.generator import FACEBOOK_PROFILE
 
@@ -435,16 +448,31 @@ def _pareto_redraw_model(profile, **kwargs):
     )
 
 
-def _iid_pareto_model(profile, **kwargs):
+def _iid_pareto_model(profile, num_machines=None, **kwargs):
     from repro.stragglers.model import ParetoStragglerModel
 
     return ParetoStragglerModel(**kwargs)
 
 
-def _no_straggler_model(profile, **kwargs):
+def _no_straggler_model(profile, num_machines=None, **kwargs):
     from repro.stragglers.model import NoStragglerModel
 
     return NoStragglerModel()
+
+
+def _machine_correlated_model(profile, num_machines=None, **kwargs):
+    from repro.stragglers.model import MachineCorrelatedStragglerModel
+
+    if num_machines is None:
+        raise KnobError(
+            "straggler model 'machine-correlated' needs the per-run "
+            "num_machines; run it through the harness/RunSpec (which "
+            "wire the cluster size automatically) or pass num_machines "
+            "to make_straggler_model()"
+        )
+    return MachineCorrelatedStragglerModel(
+        num_machines=num_machines, **kwargs
+    )
 
 
 STRAGGLER_MODELS.register(
@@ -463,6 +491,14 @@ STRAGGLER_MODELS.register(
     "none",
     _no_straggler_model,
     description="ideal cluster: every copy runs at nominal speed",
+)
+STRAGGLER_MODELS.register(
+    "machine-correlated",
+    _machine_correlated_model,
+    description=(
+        "a persistent flaky fraction of machines straggles (blacklisting "
+        "regime); cluster size is wired in per run"
+    ),
 )
 
 
@@ -491,13 +527,6 @@ _register_workload_profiles()
 # Spec-kind executors and knob schemas
 # --------------------------------------------------------------------------
 
-def _resolve_straggler_knob(kwargs: Dict[str, Any], profile) -> None:
-    """Replace a by-name ``straggler_model`` knob with a built instance."""
-    name = kwargs.pop("straggler_model", None)
-    if name is not None:
-        kwargs["straggler_model"] = make_straggler_model(name, profile)
-
-
 def _run_centralized_spec(spec):
     from repro.experiments.harness import build_trace, run_centralized
 
@@ -509,7 +538,8 @@ def _run_centralized_spec(spec):
         from repro.centralized.config import SpeculationMode
 
         kwargs["speculation_mode"] = SpeculationMode(mode)
-    _resolve_straggler_knob(kwargs, wspec.profile)
+    # A string-valued straggler_model knob stays a name here; the harness
+    # resolves it with the per-run num_machines wired in.
     return run_centralized(
         trace,
         spec.system,
@@ -526,7 +556,6 @@ def _run_decentralized_spec(spec):
     wspec = spec.workload.to_workload_spec()
     trace = build_trace(wspec)
     kwargs = {k: v for k, v in spec.knobs}
-    _resolve_straggler_knob(kwargs, wspec.profile)
     return run_decentralized(
         trace,
         spec.system,

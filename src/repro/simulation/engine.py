@@ -5,6 +5,22 @@ cancellable (lazy deletion), deterministically ordered by
 ``(time, priority, sequence)`` so that runs are reproducible for a given
 seed, and carry arbitrary positional arguments for their callback.
 
+Performance notes (the engine is the hot path of every simulator):
+
+* heap entries are plain ``(time, priority, seq, handle)`` tuples, so
+  ``heapq`` compares them in C instead of dispatching to
+  ``EventHandle.__lt__`` — the ``seq`` component is unique, so the
+  handle itself is never compared;
+* cancelled events are lazily deleted, but the heap is *compacted*
+  (filter + ``heapify``) once tombstones dominate, keeping pushes and
+  pops logarithmic in the number of *live* events.  ``heapify`` of the
+  filtered entries preserves the dispatch order exactly because the
+  ``(time, priority, seq)`` key is a total order;
+* :meth:`Simulator.schedule_many` amortizes bulk insertion (probe
+  bursts, trace arrivals) by choosing between repeated pushes and a
+  single ``heapify`` based on the relative batch size;
+* the dispatch loop binds its hot attributes to locals.
+
 Example
 -------
 >>> sim = Simulator()
@@ -19,8 +35,11 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+#: Compaction never triggers below this many tombstones (tiny heaps are
+#: cheap to scan and rebuilding them would be pure overhead).
+_COMPACT_MIN_TOMBSTONES = 256
 
 
 class SimulationError(RuntimeError):
@@ -38,7 +57,7 @@ class EventHandle:
         True once :meth:`cancel` has been called (or the event fired).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -54,12 +73,19 @@ class EventHandle:
         self.fn: Optional[Callable[..., None]] = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._tombstones += 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -82,12 +108,24 @@ class Simulator:
         Initial value of the simulation clock (default 0.0).
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_events_processed",
+        "_running",
+        "_tombstones",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[EventHandle] = []
-        self._seq = itertools.count()
+        # (time, priority, seq, handle) tuples; seq is unique so the
+        # handle component is never compared.
+        self._heap: List[Tuple[float, int, int, EventHandle]] = []
+        self._seq = 0
         self._events_processed = 0
         self._running = False
+        self._tombstones = 0  # cancelled-but-still-queued entries
 
     @property
     def now(self) -> float:
@@ -103,6 +141,28 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled stubs)."""
         return len(self._heap)
+
+    def sequence_marker(self) -> int:
+        """Opaque counter that advances on every scheduled event.
+
+        Two observations of the same marker value bracket a window in
+        which *nothing* was scheduled — batching layers (see
+        ``repro.decentralized.simulator``) use this to prove that
+        coalescing consecutive same-time messages into one event cannot
+        reorder them relative to any other event.
+        """
+        return self._seq
+
+    def credit_events(self, count: int) -> None:
+        """Count ``count`` extra logical events as processed.
+
+        Batched deliveries execute many logical events inside one engine
+        event; crediting keeps :attr:`events_processed` comparable with
+        the unbatched engine (one increment per delivered callback).
+        """
+        if count < 0:
+            raise SimulationError(f"negative event credit: {count}")
+        self._events_processed += count
 
     def schedule(
         self,
@@ -132,9 +192,76 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, priority, next(self._seq), fn, args)
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, priority, seq, fn, args)
+        handle._sim = self
+        heapq.heappush(self._heap, (time, priority, seq, handle))
+        if self._tombstones > _COMPACT_MIN_TOMBSTONES:
+            self._maybe_compact()
         return handle
+
+    def schedule_many(
+        self,
+        items: Iterable[Tuple[float, Callable[..., None], tuple]],
+        *,
+        absolute: bool = False,
+        priority: int = 0,
+    ) -> List[EventHandle]:
+        """Batched :meth:`schedule`: one ``(delay, fn, args)`` per item.
+
+        With ``absolute=True`` the first element of each item is an
+        absolute timestamp instead of a delay. Equivalent to calling
+        :meth:`schedule` / :meth:`schedule_at` once per item in order
+        (identical sequence numbers, hence identical dispatch order),
+        but large batches are inserted with a single ``heapify`` instead
+        of one sift per event.
+        """
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        entries: List[Tuple[float, int, int, EventHandle]] = []
+        handles: List[EventHandle] = []
+        for time, fn, args in items:
+            if not absolute:
+                time = now + time
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            handle = EventHandle(time, priority, seq, fn, tuple(args))
+            handle._sim = self
+            entries.append((time, priority, seq, handle))
+            handles.append(handle)
+            seq += 1
+        self._seq = seq
+        # k pushes cost ~k*log2(n); extend+heapify costs ~(n+k). Pick the
+        # cheaper; both yield the same heap *order* (total order by key).
+        k, n = len(entries), len(heap)
+        if k and n + k > 0 and k * max((n + k).bit_length(), 1) > n + k:
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        if self._tombstones > _COMPACT_MIN_TOMBSTONES:
+            self._maybe_compact()
+        return handles
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without tombstones once they dominate.
+
+        Order-preserving: the filtered entries are re-heapified and the
+        ``(time, priority, seq)`` key is a total order, so subsequent
+        pops return live events in exactly the original sequence.
+        """
+        heap = self._heap
+        if self._tombstones * 2 <= len(heap):
+            return
+        self._heap = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
 
     def run(
         self,
@@ -148,34 +275,49 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        unbounded = until is None and max_events is None
         try:
-            while self._heap:
-                head = self._heap[0]
+            while heap:
+                entry = heap[0]
+                head = entry[3]
                 if head.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._tombstones -= 1
                     continue
-                if until is not None and head.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                heapq.heappop(self._heap)
-                self._now = head.time
+                if not unbounded:
+                    if until is not None and entry[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                pop(heap)
+                self._now = entry[0]
                 fn, args = head.fn, head.args
-                head.cancel()  # mark consumed so stale handles are inert
+                # Mark consumed so stale handles are inert — without
+                # going through cancel(), which would count a tombstone.
+                head.cancelled = True
+                head.fn = None
+                head.args = ()
+                head._sim = None
                 assert fn is not None
                 fn(*args)
                 executed += 1
                 self._events_processed += 1
+                if heap is not self._heap:  # a callback forced compaction
+                    heap = self._heap
         finally:
             self._running = False
-        if until is not None and self._now < until and not self._heap:
+        if until is not None and self._now < until and not heap:
             self._now = until
-        elif until is not None and self._heap and self._heap[0].time > until:
+        elif until is not None and heap and heap[0][0] > until:
             self._now = until
         return self._now
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None

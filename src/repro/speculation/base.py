@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import statistics
 from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.stragglers.progress import TaskCopy
 from repro.workload.job import Job
@@ -49,12 +50,65 @@ class JobExecutionView:
     copies_by_task: Dict[int, List[TaskCopy]] = field(default_factory=dict)
     completed_durations: List[float] = field(default_factory=list)
     attempt_counts: Dict[int, int] = field(default_factory=dict)
+    # Median cache for estimate_new_copy_duration; completed_durations is
+    # append-only, so a length check detects staleness exactly.
+    _median_cache: float = field(default=0.0, repr=False, compare=False)
+    _median_count: int = field(default=0, repr=False, compare=False)
+    # Tasks currently racing >1 live copy. Both simulators prune finished
+    # and killed copies synchronously, so list membership == running and
+    # this counter equals the "already speculating" scan LATE used to do.
+    num_speculating_tasks: int = field(default=0, repr=False, compare=False)
+    # Sorted multiset of live copies' progress rates (1/duration), split
+    # into the merged sorted list and the not-yet-merged rates of copies
+    # registered at the most recent start tick (these must be excluded
+    # while "now" still equals that tick — see sorted_progress_rates).
+    _rates_sorted: List[float] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _pending_rates: List[float] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _pending_time: float = field(
+        default=-float("inf"), repr=False, compare=False
+    )
 
     def register_copy(self, copy: TaskCopy) -> None:
         """Track a newly launched copy."""
         task_id = copy.task.task_id
-        self.copies_by_task.setdefault(task_id, []).append(copy)
+        live = self.copies_by_task.get(task_id)
+        if live is None:
+            self.copies_by_task[task_id] = [copy]
+        else:
+            live.append(copy)
+            if len(live) == 2:
+                self.num_speculating_tasks += 1
         self.attempt_counts[task_id] = self.attempt_counts.get(task_id, 0) + 1
+        start = copy.start_time
+        if start != self._pending_time:
+            self._merge_pending()
+            self._pending_time = start
+        self._pending_rates.append(1.0 / copy.duration)
+
+    def _merge_pending(self) -> None:
+        pending = self._pending_rates
+        if pending:
+            rates = self._rates_sorted
+            for rate in pending:
+                insort(rates, rate)
+            pending.clear()
+
+    def sorted_progress_rates(self, now: float) -> List[float]:
+        """Ascending progress rates of live copies started before ``now``.
+
+        Maintained incrementally (one ``insort``/removal per copy event)
+        so policies don't rebuild and re-sort the list per scan. The
+        multiset equals ``sorted(1/c.duration for live c if now >
+        c.start_time)`` exactly: only copies started at the current tick
+        are excluded, and those are precisely the un-merged pending ones.
+        """
+        if self._pending_time != now:
+            self._merge_pending()
+        return self._rates_sorted
 
     def remove_copy(self, copy: TaskCopy) -> None:
         """Stop tracking a finished or killed copy."""
@@ -66,8 +120,21 @@ class JobExecutionView:
             live.remove(copy)
         except ValueError:
             return
-        if not live:
+        if len(live) == 1:
+            self.num_speculating_tasks -= 1
+        elif not live:
             del self.copies_by_task[task_id]
+        rate = 1.0 / copy.duration
+        if copy.start_time == self._pending_time:
+            try:
+                self._pending_rates.remove(rate)
+                return
+            except ValueError:
+                pass  # already merged before the pending tick advanced
+        rates = self._rates_sorted
+        i = bisect_left(rates, rate)
+        if i < len(rates) and rates[i] == rate:
+            del rates[i]
 
     def attempts(self, task: Task) -> int:
         """Total copies ever launched for ``task``."""
@@ -82,17 +149,25 @@ class JobExecutionView:
     def running_unfinished_tasks(self) -> List[Task]:
         """Tasks that are unfinished but have at least one running copy."""
         tasks = []
+        append = tasks.append
         for copies in self.copies_by_task.values():
-            if copies and not copies[0].task.is_finished:
-                tasks.append(copies[0].task)
+            if copies:
+                task = copies[0].task
+                if not task.is_finished:
+                    append(task)
         return tasks
 
     def estimate_new_copy_duration(self, task: Task) -> float:
         """tnew estimate: median of this job's completed task durations,
         falling back to the task's nominal size (frameworks use exactly
         this "duration of a typical finished task" heuristic)."""
-        if self.completed_durations:
-            return statistics.median(self.completed_durations)
+        durations = self.completed_durations
+        if durations:
+            count = len(durations)
+            if count != self._median_count:
+                self._median_cache = statistics.median(durations)
+                self._median_count = count
+            return self._median_cache
         return task.size
 
 

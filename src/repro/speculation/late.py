@@ -24,6 +24,9 @@ from repro.speculation.base import (
     SpeculationPolicy,
     SpeculationRequest,
 )
+from repro.workload.task import TaskState
+
+_FINISHED = TaskState.FINISHED
 
 
 class LATE(SpeculationPolicy):
@@ -55,14 +58,16 @@ class LATE(SpeculationPolicy):
     def speculation_candidates(
         self, view: JobExecutionView, now: float
     ) -> List[SpeculationRequest]:
-        running = view.running_copies()
-        if not running:
+        copies_by_task = view.copies_by_task
+        if not copies_by_task:
             return []
 
-        # Slow-task threshold: progress-rate percentile among running copies.
-        rates = sorted(
-            1.0 / c.duration for c in running if now > c.start_time
-        )
+        # Slow-task threshold: progress-rate percentile among running
+        # copies. The sorted rate multiset is maintained incrementally by
+        # the view; every task keyed in copies_by_task has at least one
+        # live copy and (both simulators prune copies of finished tasks
+        # synchronously) is unfinished, so len() is the running count.
+        rates = view.sorted_progress_rates(now)
         if rates:
             idx = max(0, min(len(rates) - 1, int(self.slow_task_pct * len(rates))))
             rate_threshold = rates[idx]
@@ -70,30 +75,40 @@ class LATE(SpeculationPolicy):
             rate_threshold = float("inf")
 
         # How many tasks may speculate at once.
-        num_running_tasks = len(view.running_unfinished_tasks())
+        num_running_tasks = len(copies_by_task)
         cap = max(1, int(self.speculative_cap_fraction * num_running_tasks))
-        already_speculating = sum(
-            1
-            for copies in view.copies_by_task.values()
-            if sum(1 for c in copies if c.is_running) > 1
-        )
-        budget = cap - already_speculating
+        budget = cap - view.num_speculating_tasks
         if budget <= 0:
             return []
 
+        max_copies = self.max_copies_per_task()
+        detect_after = self.detect_after
         requests: List[SpeculationRequest] = []
-        for task in view.running_unfinished_tasks():
-            copies = view.copies_of(task)
-            if len(copies) >= self.max_copies_per_task():
+        for copies in copies_by_task.values():
+            if not copies:
                 continue
-            slowest = max(copies, key=lambda c: c.duration)
-            if now - slowest.start_time < self.detect_after:
+            first = copies[0]
+            task = first.task
+            if task.state is _FINISHED or len(copies) >= max_copies:
+                continue
+            if len(copies) == 1:
+                slowest = first
+                # estimated_remaining of the only copy, inlined.
+                if now <= first.start_time:
+                    trem = task.size
+                else:
+                    trem = first.start_time + first.duration - now
+                    if trem < 0.0:
+                        trem = 0.0
+            else:
+                slowest = max(copies, key=lambda c: c.duration)
+                trem = min(c.estimated_remaining(now) for c in copies)
+            if now - slowest.start_time < detect_after:
                 continue
             if 1.0 / slowest.duration > rate_threshold:
                 continue  # not among the slow tasks
             # The race's current best copy decides whether a fresh draw
             # can still win.
-            trem = min(c.estimated_remaining(now) for c in copies)
             tnew = view.estimate_new_copy_duration(task)
             if trem <= tnew:
                 continue  # a new copy cannot win the race

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional, Set
+from typing import Iterable, List, Set, Tuple
 
 from repro.workload.distributions import (
     BoundedParetoDistribution,
@@ -43,6 +43,24 @@ class StragglerModel(ABC):
         attempt_index: int,
     ) -> float:
         """Multiplier (>= some small positive value) applied to task size."""
+
+    def slowdown_many(
+        self,
+        rng: random.Random,
+        items: Iterable[Tuple[Task, int, int]],
+    ) -> List[float]:
+        """Batched draws for ``(task, machine_id, attempt_index)`` items.
+
+        Consumes the RNG stream *exactly* as the equivalent sequence of
+        :meth:`slowdown` calls would, so batched and one-at-a-time
+        callers produce bit-identical simulations. Subclasses may
+        override with a tighter loop but must preserve the stream.
+        """
+        slowdown = self.slowdown
+        return [
+            slowdown(rng, task, machine_id, attempt)
+            for task, machine_id, attempt in items
+        ]
 
 
 class NoStragglerModel(StragglerModel):
@@ -85,6 +103,9 @@ class ParetoRedrawStragglerModel(StragglerModel):
         self.beta = beta
         self.scale = scale
         self._dist = ParetoDistribution(shape=beta, scale=scale)
+        # Cached inverse-CDF constant: sample = scale * u ** (-1/beta),
+        # identical float operations to ParetoDistribution.sample.
+        self._neg_inv_shape = -1.0 / beta
 
     def slowdown(
         self,
@@ -95,8 +116,26 @@ class ParetoRedrawStragglerModel(StragglerModel):
     ) -> float:
         if attempt_index == 0:
             return 1.0  # the original copy runs its drawn size
-        fresh = self._dist.sample(rng)
+        u = 1.0 - rng.random()  # avoid 0
+        fresh = self.scale * u**self._neg_inv_shape
         return fresh / task.size
+
+    def slowdown_many(
+        self,
+        rng: random.Random,
+        items: Iterable[Tuple[Task, int, int]],
+    ) -> List[float]:
+        random_ = rng.random
+        scale = self.scale
+        exponent = self._neg_inv_shape
+        out: List[float] = []
+        append = out.append
+        for task, _machine_id, attempt in items:
+            if attempt == 0:
+                append(1.0)
+            else:
+                append(scale * (1.0 - random_()) ** exponent / task.size)
+        return out
 
 
 class ParetoStragglerModel(StragglerModel):
@@ -137,6 +176,15 @@ class ParetoStragglerModel(StragglerModel):
             shape=tail_shape, lo=min_slowdown, hi=max_slowdown
         )
         self._benign = UniformDistribution(1.0 - jitter, 1.0 + jitter)
+        # Cached truncated-Pareto inverse-CDF constants; the expressions
+        # in slowdown() replay BoundedParetoDistribution.sample and
+        # rng.uniform with identical float operations.
+        a, lo, hi = tail_shape, min_slowdown, max_slowdown
+        self._tail_lo_pow = lo**-a
+        self._tail_span = lo**-a - hi**-a
+        self._tail_neg_inv_shape = -1.0 / a
+        self._benign_lo = 1.0 - jitter
+        self._benign_hi = 1.0 + jitter
 
     def slowdown(
         self,
@@ -146,8 +194,12 @@ class ParetoStragglerModel(StragglerModel):
         attempt_index: int,
     ) -> float:
         if rng.random() < self.straggler_prob:
-            return self._tail.sample(rng)
-        return self._benign.sample(rng)
+            u = rng.random()
+            return (
+                self._tail_lo_pow - u * self._tail_span
+            ) ** self._tail_neg_inv_shape
+        lo = self._benign_lo
+        return lo + (self._benign_hi - lo) * rng.random()
 
     def expected_slowdown(self) -> float:
         """Analytic mean multiplier (useful for tnew estimates)."""

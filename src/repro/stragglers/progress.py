@@ -15,7 +15,7 @@ from typing import Optional
 from repro.workload.task import Task
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskCopy:
     """One running (or finished/killed) copy of a task.
 

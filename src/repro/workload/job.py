@@ -94,11 +94,21 @@ class Job:
 
     @property
     def is_complete(self) -> bool:
-        return all(p.is_complete for p in self.phases)
+        # Hot path (checked on every slot offer); plain loop instead of
+        # all() + per-phase property dispatch.
+        for p in self.phases:
+            if p._finished_count < len(p.tasks):
+                return False
+        return True
 
     def remaining_tasks(self) -> int:
         """T_i(t): unfinished tasks across all phases."""
-        return sum(p.remaining_tasks for p in self.phases)
+        # Hot path (every gossip refresh); avoid the per-phase property
+        # dispatch of sum(p.remaining_tasks for p in self.phases).
+        total = 0
+        for p in self.phases:
+            total += len(p.tasks) - p._finished_count
+        return total
 
     def phase_is_runnable(self, phase: Phase) -> bool:
         """A phase may launch tasks once every parent has completed at

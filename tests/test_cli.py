@@ -1,6 +1,5 @@
 """Smoke tests for the ``python -m repro`` CLI."""
 
-import pytest
 
 from repro.cli import main
 

@@ -1,7 +1,6 @@
 """Tests for virtual sizes and the Hopper/SRPT/Fair allocation rules,
 including property-based invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

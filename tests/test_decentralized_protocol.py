@@ -1,7 +1,6 @@
 """Protocol-level unit tests for the decentralized worker (Pseudocode 3)
 and scheduler (Pseudocode 2) logic, driven through a tiny simulator."""
 
-import pytest
 
 from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
 from repro.decentralized.messages import JobGossip, Request, ResponseType
@@ -43,6 +42,20 @@ def _gossip(job_id, vsize, remaining, scheduler_id=0, **kwargs):
     )
 
 
+def _capture_offers(monkeypatch, offered):
+    """Record (request, rtype) for every offer instead of sending it.
+
+    Worker uses __slots__, so the hook is installed on the class (and
+    undone by monkeypatch) rather than on the instance."""
+    from repro.decentralized.worker import Worker
+
+    monkeypatch.setattr(
+        Worker,
+        "_offer",
+        lambda self, ep, req, rtype: offered.append((req, rtype)),
+    )
+
+
 def test_worker_candidates_dedupe_by_job_and_spec_flag():
     sim = _sim()
     worker = sim.workers[0]
@@ -61,27 +74,52 @@ def test_worker_candidates_dedupe_by_job_and_spec_flag():
     assert flags == {False, True}
 
 
-def test_worker_purges_inactive_jobs():
+def test_worker_drops_requests_of_inactive_jobs_on_arrival():
+    """Queue invariant: requests of completed jobs never enter the queue
+    (eager purging replaced the old lazy _purge_inactive scan)."""
     sim = _sim()
     worker = sim.workers[0]
     dead = _gossip(1, 5.0, 4, active=False)
     live = _gossip(2, 5.0, 4)
-    worker.queue = [Request(dead, 0.0), Request(live, 0.0)]
+    worker.on_request(Request(dead, 0.0))
+    worker.on_request(Request(live, 0.0))
     from repro.decentralized.worker import Episode
 
     candidates = worker._candidates(Episode(worker))
     assert [c.job_id for c in candidates] == [2]
     assert all(r.job_id == 2 for r in worker.queue)
+    assert not sim.worker_holds_job(1, worker.worker_id)
+    assert sim.worker_holds_job(2, worker.worker_id)
 
 
-def test_hopper_worker_prefers_smallest_virtual_size():
+def test_completed_job_requests_are_purged_from_holders():
+    """On job completion the per-job request index purges exactly the
+    workers holding that job's requests."""
+    sim = _sim()
+    first, second = sim.workers[0], sim.workers[1]
+    target = _gossip(7, 5.0, 4)
+    other = _gossip(8, 5.0, 4)
+    first.on_request(Request(target, 0.0))
+    first.on_request(Request(other, 0.0))
+    second.on_request(Request(target, 0.0))
+
+    target.active = False  # what scheduler.complete_job does
+    sim._purge_job_requests(7)
+    assert [r.job_id for r in first.queue] == [8]
+    assert second.queue == []
+    assert not sim.worker_holds_job(7, first.worker_id)
+    assert not sim.worker_holds_job(7, second.worker_id)
+    assert sim.worker_holds_job(8, first.worker_id)
+
+
+def test_hopper_worker_prefers_smallest_virtual_size(monkeypatch):
     sim = _sim()
     worker = sim.workers[0]
     big = Request(_gossip(1, 50.0, 40), 0.0)
     small = Request(_gossip(2, 5.0, 4), 1.0)
     worker.queue = [big, small]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 
@@ -91,14 +129,14 @@ def test_hopper_worker_prefers_smallest_virtual_size():
     assert rtype is ResponseType.REFUSABLE
 
 
-def test_hopper_worker_serves_starved_jobs_first():
+def test_hopper_worker_serves_starved_jobs_first(monkeypatch):
     sim = _sim(epsilon=0.1)
     worker = sim.workers[0]
     normal = Request(_gossip(1, 2.0, 2), 0.0)
     starved = Request(_gossip(2, 90.0, 70, starved=True), 1.0)
     worker.queue = [normal, starved]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 
@@ -106,12 +144,12 @@ def test_hopper_worker_serves_starved_jobs_first():
     assert offered[0][0].job_id == 2
 
 
-def test_hopper_worker_non_refusable_after_threshold():
+def test_hopper_worker_non_refusable_after_threshold(monkeypatch):
     sim = _sim(refusal_threshold=1)
     worker = sim.workers[0]
     worker.queue = [Request(_gossip(1, 5.0, 4), 0.0)]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 
@@ -122,7 +160,7 @@ def test_hopper_worker_non_refusable_after_threshold():
     assert offered[0][1] is ResponseType.NON_REFUSABLE
 
 
-def test_hopper_worker_serves_smallest_unsatisfied_from_refusal_info():
+def test_hopper_worker_serves_smallest_unsatisfied_from_refusal_info(monkeypatch):
     sim = _sim(refusal_threshold=1)
     worker = sim.workers[0]
     worker.queue = [
@@ -130,7 +168,7 @@ def test_hopper_worker_serves_smallest_unsatisfied_from_refusal_info():
         Request(_gossip(2, 9.0, 6), 0.0),
     ]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 
@@ -143,14 +181,14 @@ def test_hopper_worker_serves_smallest_unsatisfied_from_refusal_info():
     assert rtype is ResponseType.NON_REFUSABLE
 
 
-def test_fifo_worker_takes_oldest_request():
+def test_fifo_worker_takes_oldest_request(monkeypatch):
     sim = _sim(worker_policy=WorkerPolicy.FIFO)
     worker = sim.workers[0]
     newer = Request(_gossip(1, 1.0, 1), 5.0)
     older = Request(_gossip(2, 99.0, 80), 1.0)
     worker.queue = [newer, older]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 
@@ -159,14 +197,14 @@ def test_fifo_worker_takes_oldest_request():
     assert offered[0][1] is ResponseType.NON_REFUSABLE
 
 
-def test_srpt_worker_takes_fewest_remaining():
+def test_srpt_worker_takes_fewest_remaining(monkeypatch):
     sim = _sim(worker_policy=WorkerPolicy.SRPT)
     worker = sim.workers[0]
     big = Request(_gossip(1, 99.0, 80), 0.0)
     small = Request(_gossip(2, 10.0, 3), 5.0)
     worker.queue = [big, small]
     offered = []
-    worker._offer = lambda ep, req, rtype: offered.append((req, rtype))
+    _capture_offers(monkeypatch, offered)
 
     from repro.decentralized.worker import Episode
 

@@ -1,0 +1,104 @@
+"""Golden-digest equivalence tests for the optimized hot path.
+
+The scale-out work (tuple-keyed engine heap, tombstone compaction,
+batched control-message delivery, indexed request purging, incremental
+speculation-rate bookkeeping, cached alpha/median estimators) is only
+admissible because it is *semantics-preserving*: every study must
+reproduce the seed engine's :class:`SimulationResult`s byte-for-byte.
+
+The digests below were captured on the pre-optimization engine (commit
+``1b6c0ec``) by serializing every result of each registered study's
+quick grid at its first default seed and hashing the canonical JSON.
+Any drift — one extra RNG draw, one reordered event, one changed float
+operation — changes a digest and fails the matching test.
+
+``scale`` (born in this PR) is pinned at its first-ever output, and the
+RunSpec content digests of the new scale-study cells are pinned so the
+on-disk result cache stays addressable.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import registry
+from repro.metrics.serialize import result_to_dict
+from repro.sweep import RunSpec, WorkloadParams
+from repro.sweep.runner import SweepRunner
+
+#: study name -> sha256 of the canonical JSON of its quick-grid results
+#: at the study's first default seed (captured on the seed engine;
+#: fig7/fig8a share a digest because their quick grids coincide).
+GOLDEN_STUDY_DIGESTS = {
+    "fig3": "d1b1af574f738dd3c5918c527d51b3b677cad5ad96f84acb7c21781c646c9a33",
+    "fig5": "be9fbe69633df9dde979bb914713b02bc239cea4cc391a45889d94fac927f1d0",
+    "fig5a": "254a42109cbc420421c82ba9567e568447087c8ab3d0ca2300965ab10ed27385",
+    "fig5b": "bdf3af695c88efe81f6aa38e47e4092a57f1da005f2f93ac40efa5532975962f",
+    "fig6": "6a4da648d374089edbc5e79b572320b1b330020910523364da481b4261a12a67",
+    "fig7": "ccb3a964625ffd9c0c0ffaf71da692197d01fae130a8dd38afc60fdc1f121e94",
+    "fig8a": "ccb3a964625ffd9c0c0ffaf71da692197d01fae130a8dd38afc60fdc1f121e94",
+    "fig8b": "35864a6c89ca373ca3e862a3e1556feb134c91e275d33c8e11ead4b7effda994",
+    "fig9": "e43470923382d41a93e3f4b57d3d7b46b0f15449dd0dc55e319721535d926459",
+    "fig10": "2f24735ec5e64cccace70b41e4da2ff412161bc7b9dba6d7c6d9046202fe2368",
+    "fig11": "d47b0b39891a6dafc7d01a46320e98baaa729678f75c29b7a1ad935501b5d5f4",
+    "fig12": "cd388659c299693d4262425bb77ed0f91a5594b721b16c1b98c36126ced5c067",
+    "fig13": "11e2da345712de2b4e129baea8b1dfde5bfd9f66a3bedbd1d921e41dfaccaaf8",
+    "headline": "20cf6ac1b300cecd0db1d3d428abf97bf4126a8525af6787b0897b883b9c6f3b",
+    # Born in this PR: pinned at its first output (not a seed-engine
+    # digest — there was no scale study to run on the seed engine).
+    "scale": "e463242662203ec805f73087544335415cee37234cea640c4a7305763f4dbc2a",
+}
+
+
+def study_results_digest(name: str, runner: SweepRunner) -> str:
+    """Canonical digest of a study's quick grid at its first seed."""
+    study = registry.studies().get(name).factory
+    result = study.run(seeds=(study.seeds[0],), runner=runner, quick=True)
+    payload = json.dumps(
+        [
+            result_to_dict(r)
+            for per_cell in result.results
+            for r in per_cell
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_every_registered_study_is_pinned():
+    """A new study must add its digest here the day it is born."""
+    assert set(registry.studies().names()) == set(GOLDEN_STUDY_DIGESTS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_STUDY_DIGESTS))
+def test_study_results_match_seed_engine(name):
+    runner = SweepRunner(parallel=False)
+    assert study_results_digest(name, runner) == GOLDEN_STUDY_DIGESTS[name]
+
+
+def test_scale_cell_spec_digest_is_pinned():
+    """Scale-study cells are cache keys from day one; pin one."""
+    spec = RunSpec(
+        "decentralized",
+        "hopper",
+        WorkloadParams(
+            profile="spark-facebook",
+            num_jobs=150,
+            utilization=0.6,
+            total_slots=10000,
+        ),
+        knobs={"probe_ratio": 4.0},
+    )
+    assert spec.digest() == (
+        "b9e48e2eaf4764e6d62142d1f22d382d54db27b3a500db462fbc995f9d176f94"
+    )
+
+
+def test_scale_quick_grid_covers_ten_thousand_slots():
+    """--quick trims the grid, not the regime: >=10k slots stays in."""
+    study = registry.studies().get("scale").factory
+    cells = study.cells(quick=True)
+    sizes = {cell.label_dict()["total_slots"] for cell in cells}
+    assert max(sizes) >= 10000
