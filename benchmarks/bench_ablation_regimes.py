@@ -66,7 +66,8 @@ def _experiment():
 
 def test_bench_ablation_regimes(benchmark):
     out = benchmark.pedantic(_experiment, rounds=1, iterations=1)
-    report_table("ablation_regimes", 
+    report_table(
+        "ablation_regimes",
         "Ablation: regime bifurcation and the 2/beta multiplier "
         "(mean job duration; lower is better)",
         ("variant", "mean job duration"),

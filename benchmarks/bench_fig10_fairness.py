@@ -15,7 +15,8 @@ def test_bench_fig10(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig10", 
+    report_table(
+        "fig10",
         "Fig 10: epsilon sensitivity (paper: gains rise for small eps and "
         "flatten after ~15%; at eps=10% fewer than ~4-5% of jobs slow "
         "down, mildly)",

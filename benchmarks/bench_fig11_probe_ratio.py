@@ -23,7 +23,8 @@ def test_bench_fig11(benchmark):
         for util, inner in out.items()
         for ratio, gain in sorted(inner.items())
     ]
-    report_table("fig11", 
+    report_table(
+        "fig11",
         "Fig 11: Hopper's gain vs Sparrow-SRPT by probe ratio "
         "(paper: gains increase up to ratio ~4)",
         ("utilization", "probe ratio", "reduction %"),

@@ -16,7 +16,8 @@ def test_bench_fig12(benchmark):
     rows = [("overall", out["overall"])]
     rows += [(f"bin {k}", v) for k, v in out["by_bin"].items()]
     rows += [(f"dag {k}", v) for k, v in sorted(out["by_dag_length"].items())]
-    report_table("fig12", 
+    report_table(
+        "fig12",
         "Fig 12: centralized Hopper vs SRPT+LATE (paper: ~50% overall, "
         "up to 80% per bin; gains hold across DAG lengths)",
         ("group", "reduction %"),

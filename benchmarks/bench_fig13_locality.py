@@ -15,7 +15,8 @@ def test_bench_fig13(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig13", 
+    report_table(
+        "fig13",
         "Fig 13: locality allowance k (paper: small k increases locality; "
         "gains drop when k grows too large)",
         ("k %", "gain vs SRPT %", "fraction data-local"),

@@ -24,7 +24,8 @@ def _run(beta):
 
 def test_bench_fig3_beta_14(benchmark):
     curve = benchmark.pedantic(_run, args=(1.4,), rounds=1, iterations=1)
-    report_table("fig3", 
+    report_table(
+        "fig3",
         "Fig 3a (beta=1.4): completion vs normalized slots "
         f"(paper knee at {threshold_multiplier(1.4):.2f})",
         ("slots/tasks", "norm. completion"),
@@ -43,7 +44,8 @@ def test_bench_fig3_beta_14(benchmark):
 
 def test_bench_fig3_beta_16(benchmark):
     curve = benchmark.pedantic(_run, args=(1.6,), rounds=1, iterations=1)
-    report_table("fig3", 
+    report_table(
+        "fig3",
         "Fig 3b (beta=1.6): completion vs normalized slots "
         f"(paper knee at {threshold_multiplier(1.6):.2f})",
         ("slots/tasks", "norm. completion"),

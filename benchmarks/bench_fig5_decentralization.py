@@ -18,7 +18,8 @@ def test_bench_fig5a_probe_count(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig5", 
+    report_table(
+        "fig5",
         "Fig 5a: ratio vs centralized Hopper by probe count "
         "(paper: Hopper within ~15% at d>=4; Sparrow >100% off)",
         ("system", "probes d", "util", "ratio vs centralized"),
@@ -46,7 +47,8 @@ def test_bench_fig5b_refusal_count(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig5", 
+    report_table(
+        "fig5",
         "Fig 5b: ratio vs centralized Hopper by refusal threshold "
         "(paper: 2-3 refusals within 10-15% of centralized)",
         ("refusals", "util", "ratio vs centralized"),

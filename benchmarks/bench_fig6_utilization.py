@@ -21,7 +21,8 @@ def test_bench_fig6(benchmark, profile):
         rounds=1,
         iterations=1,
     )
-    report_table("fig6", 
+    report_table(
+        "fig6",
         f"Fig 6 ({profile}): reduction (%) in avg job duration "
         "(paper: 50-60% at 60% util falling to <20% at >=80%)",
         ("utilization", "vs Sparrow", "vs Sparrow-SRPT"),

@@ -11,7 +11,8 @@ def test_bench_fig7(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig7", 
+    report_table(
+        "fig7",
         "Fig 7: reduction (%) by job size bin vs Sparrow-SRPT "
         "(paper: small jobs 18-32%, large jobs >50%)",
         ("bin (tasks)", "reduction %"),

@@ -11,7 +11,8 @@ def test_bench_fig8a_cdf(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("fig8", 
+    report_table(
+        "fig8",
         "Fig 8a: per-job gain distribution vs Sparrow-SRPT "
         "(paper: median above average, >70% at high percentiles, "
         "10th pct 10-15%)",
@@ -32,7 +33,8 @@ def test_bench_fig8b_dag_length(benchmark):
         iterations=1,
     )
     rows = sorted(out.items())
-    report_table("fig8", 
+    report_table(
+        "fig8",
         "Fig 8b: reduction (%) by DAG length (paper: gains hold across "
         "lengths)",
         ("DAG length", "reduction %"),

@@ -17,7 +17,8 @@ def test_bench_fig9(benchmark):
     rows = []
     for algo, bins in out.items():
         rows.append((algo, bins["overall"]))
-    report_table("fig9", 
+    report_table(
+        "fig9",
         "Fig 9: overall reduction (%) per speculation algorithm "
         "(paper: similar gains across LATE, Mantri, GRASS)",
         ("algorithm", "overall reduction %"),

@@ -12,7 +12,8 @@ def test_bench_headline(benchmark):
         rounds=1,
         iterations=1,
     )
-    report_table("headline", 
+    report_table(
+        "headline",
         "Headline gains (paper: decentralized up to 66%, centralized up "
         "to 50%)",
         ("comparison", "reduction %"),

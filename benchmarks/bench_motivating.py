@@ -10,7 +10,8 @@ def test_bench_motivating_example(benchmark):
         run_motivating_example, rounds=3, iterations=1
     )
     by_name = {r.strategy: r for r in results}
-    report_table("motivating", 
+    report_table(
+        "motivating",
         "Fig 1-2 / Table 1: strawmen vs Hopper (paper: 20/30, 12/32, 12/22)",
         ("strategy", "job A", "job B", "average"),
         [

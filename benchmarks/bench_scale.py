@@ -1,16 +1,18 @@
-"""Scale benchmark: decentralized event-loop throughput at 1k-20k slots.
+"""Scale benchmark: simulator event-loop throughput at 1k-20k slots.
 
-Measures the hot path the ``scale`` study exercises — decentralized
-Hopper replaying a Spark-like Facebook trace — and reports wall-clock
-and **events/sec** (logical engine events; batched control-message
-deliveries are credited per message, so numbers are comparable with the
-unbatched engine). Results print as a table and land in
-``BENCH_scale.json``, which doubles as the committed baseline that the
-CI ``perf-smoke`` job gates on via ``benchmarks/check_regression.py``.
+Measures the hot paths the ``scale`` study exercises on both system
+axes — decentralized Hopper and centralized Hopper-C replaying a
+Spark-like Facebook trace — and reports wall-clock and **events/sec**
+(logical engine events; batched control-message deliveries are credited
+per message, so numbers are comparable with the unbatched engine).
+Results print as a table and land in ``BENCH_scale.json``, which doubles
+as the committed baseline that the CI ``perf-smoke`` job gates on via
+``benchmarks/check_regression.py`` — the centralized rows included.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale.py --quick
+    PYTHONPATH=src python benchmarks/bench_scale.py --system centralized
     PYTHONPATH=src python benchmarks/bench_scale.py --output fresh.json
 """
 
@@ -28,10 +30,11 @@ if str(_ROOT / "src") not in sys.path:  # allow plain `python benchmarks/...`
 if str(_ROOT / "benchmarks") not in sys.path:
     sys.path.insert(0, str(_ROOT / "benchmarks"))
 
-from _tables import print_table, write_bench_json  # noqa: E402
+from _tables import BENCH_SCHEMA_VERSION, print_table, write_bench_json  # noqa: E402
 
-#: (total_slots, num_jobs) points per mode; probe ratio fixed at the
-#: paper's recommended d=4. --quick must still cover the >=10k regime.
+#: (total_slots, num_jobs) points per mode; the decentralized axis runs
+#: the paper's recommended probe ratio d=4. --quick must still cover the
+#: >=10k regime on both axes.
 FULL_GRID: Sequence[Tuple[int, int]] = (
     (1000, 150),
     (5000, 150),
@@ -40,21 +43,16 @@ FULL_GRID: Sequence[Tuple[int, int]] = (
 )
 QUICK_GRID: Sequence[Tuple[int, int]] = ((2000, 40), (10000, 80))
 
+SYSTEMS = ("decentralized", "centralized")
+
 PROBE_RATIO = 4.0
 UTILIZATION = 0.6
 TRACE_SEED = 42
 RUN_SEED = 7
 
 
-def run_once(total_slots: int, num_jobs: int) -> Dict[str, Any]:
-    """One timed decentralized-Hopper replay; returns a result row."""
-    from repro import registry
-    from repro.decentralized.config import DecentralizedConfig
-    from repro.decentralized.simulator import DecentralizedSimulator
+def _build_trace(total_slots: int, num_jobs: int):
     from repro.experiments.harness import WorkloadSpec, build_trace
-    from repro.simulation.rng import RandomSource
-    from repro.speculation import make_speculation_policy
-    from repro.stragglers.model import ParetoRedrawStragglerModel
     from repro.workload.generator import profile_by_name
 
     profile = profile_by_name("spark-facebook")
@@ -65,7 +63,19 @@ def run_once(total_slots: int, num_jobs: int) -> Dict[str, Any]:
         total_slots=total_slots,
         seed=TRACE_SEED,
     )
-    trace = build_trace(spec)
+    return profile, spec, build_trace(spec)
+
+
+def run_once_decentralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
+    """One timed decentralized-Hopper replay; returns a result row."""
+    from repro import registry
+    from repro.decentralized.config import DecentralizedConfig
+    from repro.decentralized.simulator import DecentralizedSimulator
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import make_speculation_policy
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+
+    profile, _, trace = _build_trace(total_slots, num_jobs)
     defaults = registry.DECENTRALIZED_SYSTEMS.get("hopper").factory()
     simulator = DecentralizedSimulator(
         num_workers=total_slots,
@@ -88,6 +98,7 @@ def run_once(total_slots: int, num_jobs: int) -> Dict[str, Any]:
     wall = time.perf_counter() - start
     events = simulator.sim.events_processed
     return {
+        "system": "decentralized",
         "total_slots": total_slots,
         "num_jobs": num_jobs,
         "probe_ratio": PROBE_RATIO,
@@ -99,24 +110,92 @@ def run_once(total_slots: int, num_jobs: int) -> Dict[str, Any]:
     }
 
 
+def run_once_centralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
+    """One timed centralized-Hopper replay (the harness defaults:
+    INTEGRATED speculation, 4 slots per machine); returns a result row."""
+    from repro import registry
+    from repro.centralized.config import CentralizedConfig, SpeculationMode
+    from repro.centralized.simulator import CentralizedSimulator
+    from repro.cluster.cluster import Cluster
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import make_speculation_policy
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+
+    profile, _, trace = _build_trace(total_slots, num_jobs)
+    policy = registry.CENTRALIZED_SYSTEMS.get("hopper").factory(epsilon=0.1)
+    slots_per_machine = 4
+    simulator = CentralizedSimulator(
+        cluster=Cluster(
+            num_machines=max(1, total_slots // slots_per_machine),
+            slots_per_machine=slots_per_machine,
+        ),
+        policy=policy,
+        speculation=lambda: make_speculation_policy("late"),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoRedrawStragglerModel(
+            beta=profile.beta, scale=profile.task_scale
+        ),
+        config=CentralizedConfig(
+            epsilon=0.1,
+            speculation_mode=SpeculationMode.INTEGRATED,
+            default_beta=profile.beta,
+        ),
+        random_source=RandomSource(seed=RUN_SEED),
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    wall = time.perf_counter() - start
+    events = simulator.sim.events_processed
+    return {
+        "system": "centralized",
+        "total_slots": total_slots,
+        "num_jobs": num_jobs,
+        "probe_ratio": None,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "mean_job_duration": result.mean_job_duration,
+        "messages_sent": result.messages_sent,
+    }
+
+
+_RUNNERS = {
+    "decentralized": run_once_decentralized,
+    "centralized": run_once_centralized,
+}
+
+
 def run_benchmark(
-    grid: Sequence[Tuple[int, int]], repeats: int
+    systems: Sequence[str], grid: Sequence[Tuple[int, int]], repeats: int
 ) -> List[Dict[str, Any]]:
-    """Best-of-``repeats`` per grid point (wall-clock noise shielding).
+    """Best-of-``repeats`` per system x grid point (wall-clock noise
+    shielding).
 
     The simulation itself is deterministic, so repeated runs return
     identical events/results; only the timing varies.
     """
     rows: List[Dict[str, Any]] = []
-    for total_slots, num_jobs in grid:
-        best: Optional[Dict[str, Any]] = None
-        for _ in range(repeats):
-            row = run_once(total_slots, num_jobs)
-            if best is None or row["wall_seconds"] < best["wall_seconds"]:
-                best = row
-        assert best is not None
-        rows.append(best)
+    for system in systems:
+        run_once = _RUNNERS[system]
+        for total_slots, num_jobs in grid:
+            best: Optional[Dict[str, Any]] = None
+            for _ in range(repeats):
+                row = run_once(total_slots, num_jobs)
+                if best is None or row["wall_seconds"] < best["wall_seconds"]:
+                    best = row
+            assert best is not None
+            rows.append(best)
     return rows
+
+
+def _aggregate(rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    total_events = sum(r["events"] for r in rows)
+    total_wall = sum(r["wall_seconds"] for r in rows)
+    return {
+        "total_events": total_events,
+        "total_wall_seconds": total_wall,
+        "events_per_sec": total_events / total_wall if total_wall else 0.0,
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -125,6 +204,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="CI smoke grid (2k and 10k slots, fewer jobs)",
+    )
+    parser.add_argument(
+        "--system",
+        choices=(*SYSTEMS, "both"),
+        default="both",
+        help="which simulator axis to benchmark (default: both)",
     )
     parser.add_argument(
         "--repeats",
@@ -145,22 +230,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    systems = SYSTEMS if args.system == "both" else (args.system,)
     grid = QUICK_GRID if args.quick else FULL_GRID
-    rows = run_benchmark(grid, max(args.repeats, 1))
-    total_events = sum(r["events"] for r in rows)
-    total_wall = sum(r["wall_seconds"] for r in rows)
-    aggregate = {
-        "total_events": total_events,
-        "total_wall_seconds": total_wall,
-        "events_per_sec": total_events / total_wall if total_wall else 0.0,
+    rows = run_benchmark(systems, grid, max(args.repeats, 1))
+    aggregate = _aggregate(rows)
+    per_system = {
+        system: _aggregate([r for r in rows if r["system"] == system])
+        for system in systems
     }
 
     print_table(
-        "Scale benchmark: decentralized Hopper events/sec "
-        f"({'quick' if args.quick else 'full'} grid, d={PROBE_RATIO:g})",
-        ("slots", "jobs", "events", "wall s", "events/s", "mean dur"),
+        "Scale benchmark: events/sec by system "
+        f"({'quick' if args.quick else 'full'} grid, "
+        f"decentralized d={PROBE_RATIO:g})",
+        ("system", "slots", "jobs", "events", "wall s", "events/s", "mean dur"),
         [
             (
+                r["system"],
                 r["total_slots"],
                 r["num_jobs"],
                 r["events"],
@@ -171,19 +257,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for r in rows
         ],
     )
+    for system in systems:
+        print(
+            f"{system} aggregate: "
+            f"{per_system[system]['events_per_sec']:,.0f} events/sec"
+        )
     print(f"\naggregate: {aggregate['events_per_sec']:,.0f} events/sec")
 
     payload = {
         "quick": args.quick,
+        "systems": list(systems),
         "probe_ratio": PROBE_RATIO,
         "utilization": UTILIZATION,
         "repeats": max(args.repeats, 1),
         "rows": rows,
         "aggregate": aggregate,
+        "per_system": per_system,
     }
     if args.output:
         out = Path(args.output)
-        doc = {"benchmark": "scale", "schema_version": 1, **payload}
+        doc = {
+            "benchmark": "scale",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            **payload,
+        }
         import json
 
         out.write_text(json.dumps(doc, indent=2) + "\n")

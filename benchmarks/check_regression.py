@@ -6,6 +6,9 @@ Compares a freshly produced benchmark JSON (``bench_scale.py --quick
 than the allowed factor — by default 2x, loose enough to absorb the
 hardware gap between the machine that committed the baseline and a CI
 runner, tight enough to catch an accidentally quadratic event loop.
+A baseline grid point (or per-system aggregate) missing from the fresh
+run is also a violation: the gate must not silently lose coverage when
+the benchmark grid or system axes change without a baseline refresh.
 
 Usage::
 
@@ -33,7 +36,10 @@ def _load(path: Path) -> Dict[str, Any]:
 
 
 def _row_key(row: Dict[str, Any]) -> Tuple:
+    # Baselines predating the centralized axis have no "system" field;
+    # they were all decentralized rows.
     return (
+        row.get("system", "decentralized"),
         row.get("total_slots"),
         row.get("num_jobs"),
         row.get("probe_ratio"),
@@ -68,17 +74,45 @@ def check(
         float(baseline["aggregate"].get("events_per_sec", 0.0)),
         float(current["aggregate"].get("events_per_sec", 0.0)),
     )
+    base_per_system = baseline.get("per_system", {})
+    current_per_system = current.get("per_system", {})
+    for system in sorted(base_per_system):
+        if system not in current_per_system:
+            # A gate that silently loses coverage is worse than a slow
+            # row: a baseline axis must never vanish from the fresh run.
+            print(f"  {system} aggregate: MISSING from current run")
+            violations += 1
+            continue
+        compare(
+            f"{system} aggregate",
+            float(base_per_system[system].get("events_per_sec", 0.0)),
+            float(current_per_system[system].get("events_per_sec", 0.0)),
+        )
+
+    def row_label(key: Tuple) -> str:
+        system, slots, jobs, d = key
+        label = f"{system} slots={slots} jobs={jobs}"
+        if d is not None:
+            label += f" d={d:g}"
+        return label
+
     base_rows = {_row_key(r): r for r in baseline.get("rows", [])}
+    current_keys = set()
     for row in current.get("rows", []):
-        base = base_rows.get(_row_key(row))
+        key = _row_key(row)
+        current_keys.add(key)
+        base = base_rows.get(key)
         if base is None:
             continue  # grid point absent from the baseline: informational
-        slots, jobs, d = _row_key(row)
         compare(
-            f"slots={slots} jobs={jobs} d={d:g}",
+            row_label(key),
             float(base.get("events_per_sec", 0.0)),
             float(row.get("events_per_sec", 0.0)),
         )
+    for key in base_rows:
+        if key not in current_keys:
+            print(f"  {row_label(key)}: MISSING from current run")
+            violations += 1
     return violations
 
 

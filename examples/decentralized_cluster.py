@@ -40,14 +40,14 @@ def main() -> None:
                 f"(wins {result.speculative_wins})  "
                 f"messages={result.messages_sent}"
             )
-        print(
-            f"Hopper vs Sparrow      : "
-            f"{mean_reduction_percent(results['sparrow'], results['hopper']):5.1f}% faster"
+        vs_sparrow = mean_reduction_percent(
+            results["sparrow"], results["hopper"]
         )
-        print(
-            f"Hopper vs Sparrow-SRPT : "
-            f"{mean_reduction_percent(results['sparrow-srpt'], results['hopper']):5.1f}% faster"
+        vs_srpt = mean_reduction_percent(
+            results["sparrow-srpt"], results["hopper"]
         )
+        print(f"Hopper vs Sparrow      : {vs_sparrow:5.1f}% faster")
+        print(f"Hopper vs Sparrow-SRPT : {vs_srpt:5.1f}% faster")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,29 @@ accounted as speculation waste.
 
 The simulator owns all runtime state; jobs/tasks keep only the minimal
 flags needed for replay (`reset_runtime_state`).
+
+Scale-out notes (10k+-slot clusters):
+
+* per-job state is a :class:`repro.runtime.JobRuntime` and the copy
+  lifecycle goes through the shared :class:`repro.runtime.CopyLedger` —
+  the same core the decentralized path runs on;
+* every "which machine has a free slot?" question is answered by the
+  cluster's incremental :class:`~repro.cluster.index.ClusterIndex`
+  (O(log machines)) instead of an O(machines) scan. Random placement
+  draws ``rng.randrange(free_count)`` and selects the n-th free machine
+  in ascending-id order, which consumes the same entropy and returns
+  the same machine as the old ``rng.choice(scan)`` — replays are
+  bit-identical (pinned by ``tests/test_golden_results.py``);
+* trace arrivals are bulk-inserted with
+  :meth:`~repro.simulation.engine.Simulator.schedule_many`;
+* the speculation-preemption sweep enumerates victims from the view's
+  live-speculative index instead of walking every live copy.
 """
 
 from __future__ import annotations
 
 import math
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.centralized.config import CentralizedConfig, SpeculationMode
 from repro.centralized.policies import CentralizedPolicy
@@ -27,9 +43,10 @@ from repro.core.virtual_size import virtual_size
 from repro.estimation.alpha import AlphaEstimator
 from repro.estimation.beta import OnlineBetaEstimator
 from repro.metrics.collector import MetricsCollector, SimulationResult
-from repro.simulation.engine import EventHandle, Simulator
+from repro.runtime import CopyLedger, LocalityJobRuntime
+from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomSource
-from repro.speculation.base import JobExecutionView, SpeculationPolicy
+from repro.speculation.base import SpeculationPolicy
 from repro.stragglers.model import StragglerModel
 from repro.stragglers.progress import TaskCopy
 from repro.workload.job import Job
@@ -37,74 +54,17 @@ from repro.workload.task import Task, TaskState
 from repro.workload.traces import Trace
 
 
-class _JobRuntime:
-    """Mutable per-job execution state owned by the simulator."""
+class _JobRuntime(LocalityJobRuntime):
+    """Centralized per-job state: the shared runtime core with locality
+    buckets, plus running-copy counters the dispatcher's deficit math
+    reads."""
 
-    __slots__ = (
-        "job",
-        "view",
-        "pending",
-        "pending_ids",
-        "activated_phases",
-        "running_copies",
-        "running_speculative",
-        "spec_dirty",
-        "spec_cache_time",
-        "spec_candidates",
-    )
+    __slots__ = ("running_copies", "running_speculative")
 
-    def __init__(self, job: Job) -> None:
-        self.job = job
-        self.view = JobExecutionView(job=job)
-        self.pending: Deque[Task] = deque()
-        self.pending_ids: Set[int] = set()
-        self.activated_phases: Set[int] = set()
+    def __init__(self, job: Job, spec_policy: SpeculationPolicy) -> None:
+        super().__init__(job, spec_policy)
         self.running_copies = 0
         self.running_speculative = 0
-        # Throttled speculation-candidate cache.
-        self.spec_dirty = True
-        self.spec_cache_time = -float("inf")
-        self.spec_candidates: list = []
-
-    def activate_runnable_phases(self) -> None:
-        """Move tasks of newly-runnable phases into the pending queue."""
-        for phase in self.job.phases:
-            if phase.index in self.activated_phases:
-                continue
-            if self.job.phase_is_runnable(phase):
-                self.activated_phases.add(phase.index)
-                for task in phase.tasks:
-                    if not task.is_finished:
-                        self.pending.append(task)
-                        self.pending_ids.add(task.task_id)
-
-    def pop_pending(self, prefer_machine: Optional[int]) -> Optional[Task]:
-        """Take the next pending task, preferring one local to
-        ``prefer_machine`` (bounded scan)."""
-        while self.pending and self.pending[0].is_finished:
-            dropped = self.pending.popleft()
-            self.pending_ids.discard(dropped.task_id)
-        if not self.pending:
-            return None
-        if prefer_machine is not None:
-            scan_limit = min(len(self.pending), 64)
-            for i in range(scan_limit):
-                task = self.pending[i]
-                if not task.is_finished and task.prefers(prefer_machine):
-                    del self.pending[i]
-                    self.pending_ids.discard(task.task_id)
-                    return task
-        task = self.pending.popleft()
-        self.pending_ids.discard(task.task_id)
-        return task
-
-    def has_pending_local_to(self, machine_id: int) -> bool:
-        scan_limit = min(len(self.pending), 64)
-        for i in range(scan_limit):
-            task = self.pending[i]
-            if not task.is_finished and task.prefers(machine_id):
-                return True
-        return False
 
 
 class CentralizedSimulator:
@@ -130,6 +90,31 @@ class CentralizedSimulator:
     random_source:
         Seed hierarchy.
     """
+
+    __slots__ = (
+        "cluster",
+        "policy",
+        "speculation_factory",
+        "trace",
+        "straggler_model",
+        "config",
+        "datastore",
+        "random_source",
+        "sim",
+        "metrics",
+        "beta_estimator",
+        "alpha_estimator",
+        "ledger",
+        "_rng",
+        "_jobs",
+        "_spec_check_scheduled",
+        "_jobs_completed",
+        "_total_slots",
+        "_spec_budget",
+        "_running_spec_copies",
+        "_running_original_copies",
+        "_spec_eval_min_interval",
+    )
 
     def __init__(
         self,
@@ -159,12 +144,10 @@ class CentralizedSimulator:
         self.alpha_estimator = AlphaEstimator(
             network_rate=self.config.network_rate
         )
+        self.ledger = CopyLedger(self.sim, self.metrics, self.beta_estimator)
 
         self._rng = self.random_source.child("centralized").rng
         self._jobs: Dict[int, _JobRuntime] = {}
-        self._spec_policies: Dict[int, SpeculationPolicy] = {}
-        self._copy_events: Dict[int, EventHandle] = {}
-        self._next_copy_id = 0
         self._spec_check_scheduled = False
         self._jobs_completed = 0
 
@@ -176,14 +159,20 @@ class CentralizedSimulator:
             )
         self._running_spec_copies = 0
         self._running_original_copies = 0
+        self._spec_eval_min_interval = self.config.spec_eval_min_interval
 
     # ------------------------------------------------------------------ run --
 
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Replay the whole trace; returns the metrics."""
         self.cluster.reset()
-        for job in self.trace:
-            self.sim.schedule_at(job.arrival_time, self._on_job_arrival, job)
+        self.sim.schedule_many(
+            (
+                (job.arrival_time, self._on_job_arrival, (job,))
+                for job in self.trace
+            ),
+            absolute=True,
+        )
         self.sim.run(until=until)
         return self.metrics.result
 
@@ -233,24 +222,26 @@ class CentralizedSimulator:
 
     def _pick_machine(self, task: Task) -> Optional[int]:
         """Free machine for a copy: local replica holder if possible."""
+        machines = self.cluster.machines
         for machine_id in task.preferred_machines:
-            machine = self.cluster.machine(machine_id)
-            if machine.has_free_slot:
+            if machines[machine_id].has_free_slot:
                 return machine_id
-        free = self.cluster.machines_with_free_slots()
-        if not free:
+        index = self.cluster.index
+        free_count = index.free_machine_count
+        if not free_count:
             return None
-        return self._rng.choice(free).machine_id
+        # Same entropy draw and same ascending-id selection order as
+        # rng.choice(machines_with_free_slots()) on the scan-based path.
+        return index.nth_free_machine(self._rng.randrange(free_count))
 
     # ------------------------------------------------------------- events ----
 
     def _on_job_arrival(self, job: Job) -> None:
         if self.datastore is not None:
             self.datastore.place_job_inputs(job)
-        jr = _JobRuntime(job)
+        jr = _JobRuntime(job, self.speculation_factory())
         jr.activate_runnable_phases()
         self._jobs[job.job_id] = jr
-        self._spec_policies[job.job_id] = self.speculation_factory()
         self._reschedule()
         self._ensure_spec_check()
 
@@ -283,16 +274,16 @@ class CentralizedSimulator:
             local = self.datastore.is_local(task, machine_id)
             penalty = self.datastore.duration_multiplier(task, machine_id)
         duration = task.size * slowdown * penalty
-        copy = TaskCopy(
-            copy_id=self._next_copy_id,
-            task=task,
-            machine_id=machine_id,
-            start_time=self.sim.now,
-            duration=duration,
-            speculative=speculative,
+        self.ledger.launch(
+            jr.view,
+            task,
+            machine_id,
+            duration,
+            speculative,
+            local,
+            self._on_copy_finish,
+            jr,
         )
-        self._next_copy_id += 1
-        jr.view.register_copy(copy)
         jr.spec_dirty = True
         jr.running_copies += 1
         if speculative:
@@ -302,19 +293,11 @@ class CentralizedSimulator:
             self._running_original_copies += 1
         task.state = TaskState.RUNNING
         self.cluster.acquire_slot(machine_id)
-        handle = self.sim.schedule(duration, self._on_copy_finish, copy, jr)
-        self._copy_events[copy.copy_id] = handle
-        self.metrics.record_copy_launch(speculative=speculative, local=local)
         return True
 
     def _kill_copy(self, copy: TaskCopy, jr: _JobRuntime) -> None:
-        handle = self._copy_events.pop(copy.copy_id, None)
-        if handle is not None:
-            handle.cancel()
-        copy.killed = True
-        copy.end_time = self.sim.now
+        self.ledger.kill(copy, jr.view)
         self.cluster.release_slot(copy.machine_id)
-        jr.view.remove_copy(copy)
         jr.spec_dirty = True
         jr.running_copies -= 1
         if copy.speculative:
@@ -322,14 +305,10 @@ class CentralizedSimulator:
             self._running_spec_copies -= 1
         else:
             self._running_original_copies -= 1
-        self.metrics.record_copy_killed(copy.resource_time(self.sim.now))
 
     def _on_copy_finish(self, copy: TaskCopy, jr: _JobRuntime) -> None:
-        self._copy_events.pop(copy.copy_id, None)
-        copy.finished = True
-        copy.end_time = self.sim.now
         self.cluster.release_slot(copy.machine_id)
-        jr.view.remove_copy(copy)
+        won = self.ledger.finish(copy, jr.view)
         jr.spec_dirty = True
         jr.running_copies -= 1
         if copy.speculative:
@@ -337,45 +316,20 @@ class CentralizedSimulator:
             self._running_spec_copies -= 1
         else:
             self._running_original_copies -= 1
-        task = copy.task
-        self.metrics.record_copy_finished(
-            copy.duration,
-            speculative_win=copy.speculative and not task.is_finished,
-        )
 
-        if not task.is_finished:
-            task.state = TaskState.FINISHED
-            task.finish_time = self.sim.now
-            task.completed_by_speculative = copy.speculative
-            jr.job.phase(task.phase_index).mark_task_finished(task.size)
-            jr.view.completed_durations.append(copy.duration)
-            self.beta_estimator.observe(copy.duration)
+        if won:
             # Kill the losers of the race.
-            for other in list(jr.view.copies_by_task.get(task.task_id, ())):
-                if other.is_running:
-                    self._kill_copy(other, jr)
-            if task.task_id in jr.pending_ids:
-                # Never launched a copy? Then this finish is inconsistent.
-                jr.pending_ids.discard(task.task_id)
+            for other in self.ledger.finish_task(jr.view, copy):
+                self._kill_copy(other, jr)
+            jr.discard_pending_id(copy.task.task_id)
             jr.activate_runnable_phases()
             if jr.job.is_complete:
                 self._complete_job(jr)
         self._reschedule()
 
     def _complete_job(self, jr: _JobRuntime) -> None:
-        job = jr.job
-        job.finish_time = self.sim.now
-        self.metrics.record_job_completion(
-            job_id=job.job_id,
-            name=job.name,
-            num_tasks=job.num_tasks,
-            dag_length=job.dag_length,
-            arrival_time=job.arrival_time,
-            finish_time=self.sim.now,
-        )
-        self.alpha_estimator.observe_job(job)
-        del self._jobs[job.job_id]
-        del self._spec_policies[job.job_id]
+        self.ledger.record_job_completion(jr.job, self.alpha_estimator)
+        del self._jobs[jr.job.job_id]
         self._jobs_completed += 1
 
     # ----------------------------------------------------------- dispatch ----
@@ -448,12 +402,7 @@ class CentralizedSimulator:
             excess = jr.running_copies - target
             if excess <= 0 or jr.running_speculative <= 0:
                 continue
-            victims = [
-                c
-                for copies in jr.view.copies_by_task.values()
-                for c in copies
-                if c.speculative and len(copies) > 1
-            ]
+            victims = jr.view.live_speculative_copies()
             victims.sort(key=lambda c: c.elapsed(now))
             for victim in victims[: min(excess, len(victims))]:
                 self._kill_copy(victim, jr)
@@ -472,8 +421,11 @@ class CentralizedSimulator:
         running original copies (budgeted-speculation pool fencing).
         """
         k = self.config.locality_k_percent if self.policy.uses_virtual_sizes else 0.0
+        jobs = self._jobs
+        cluster = self.cluster
+        index = cluster.index
         progress = True
-        while progress and self.cluster.free_slots > 0:
+        while progress and cluster.free_slots > 0:
             if (
                 original_limit is not None
                 and self._running_original_copies >= original_limit
@@ -483,49 +435,36 @@ class CentralizedSimulator:
             deficient = [
                 s
                 for s in order
-                if s.job_id in self._jobs
-                and self._jobs[s.job_id].pending
+                if s.job_id in jobs
+                and jobs[s.job_id].pending
                 and (
                     targets is None
-                    or self._jobs[s.job_id].running_copies
-                    < targets.get(s.job_id, 0)
+                    or jobs[s.job_id].running_copies < targets.get(s.job_id, 0)
                 )
             ]
             if not deficient:
                 break
-            free_machines = self.cluster.machines_with_free_slots()
-            if not free_machines:
+            machine_id = index.first_free_machine()
+            if machine_id is None:
                 break
-            machine = free_machines[0]
 
             def has_local(state: JobAllocationState) -> bool:
-                return self._jobs[state.job_id].has_pending_local_to(
-                    machine.machine_id
-                )
+                return jobs[state.job_id].has_pending_local_to(machine_id)
 
             chosen = pick_job_with_locality(deficient, k, has_local)
             if chosen is None:
                 break
-            jr = self._jobs[chosen.job_id]
-            task = jr.pop_pending(prefer_machine=machine.machine_id)
+            jr = jobs[chosen.job_id]
+            task = jr.pop_pending(prefer_machine=machine_id)
             if task is None:
                 continue
             if self._launch_copy(jr, task, speculative=False):
                 progress = True
 
     def _job_speculation_candidates(self, jr: _JobRuntime) -> list:
-        """Throttled candidate evaluation: re-scan a job's progress only
-        when its copies changed or the throttle interval elapsed."""
-        now = self.sim.now
-        if (
-            jr.spec_dirty
-            or now - jr.spec_cache_time >= self.config.spec_eval_min_interval
-        ):
-            policy = self._spec_policies[jr.job.job_id]
-            jr.spec_candidates = policy.speculation_candidates(jr.view, now)
-            jr.spec_cache_time = now
-            jr.spec_dirty = False
-        return jr.spec_candidates
+        return jr.speculation_candidates(
+            self.sim.now, self._spec_eval_min_interval
+        )
 
     def _dispatch_speculation(
         self,
@@ -533,17 +472,18 @@ class CentralizedSimulator:
         targets: Optional[Dict[int, int]],
         pool_limit: Optional[int],
     ) -> None:
+        cluster = self.cluster
         for state in order:
             jr = self._jobs.get(state.job_id)
             if jr is None:
                 continue
-            if self.cluster.free_slots <= 0:
+            if cluster.free_slots <= 0:
                 return
             if pool_limit is not None and self._running_spec_copies >= pool_limit:
                 return
             candidates = self._job_speculation_candidates(jr)
             for request in candidates:
-                if self.cluster.free_slots <= 0:
+                if cluster.free_slots <= 0:
                     return
                 if (
                     pool_limit is not None
@@ -556,9 +496,7 @@ class CentralizedSimulator:
                     break
                 if request.task.is_finished:
                     continue
-                max_copies = self._spec_policies[
-                    state.job_id
-                ].max_copies_per_task()
-                if len(jr.view.copies_of(request.task)) >= max_copies:
+                max_copies = jr.spec_policy.max_copies_per_task()
+                if jr.view.num_live_copies(request.task) >= max_copies:
                     continue  # stale cached candidate
                 self._launch_copy(jr, request.task, speculative=True)

@@ -4,5 +4,6 @@ from repro.cluster.machine import Machine
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
 from repro.cluster.blacklist import Blacklist
+from repro.cluster.index import ClusterIndex
 
-__all__ = ["Machine", "Cluster", "DataStore", "Blacklist"]
+__all__ = ["Machine", "Cluster", "DataStore", "Blacklist", "ClusterIndex"]

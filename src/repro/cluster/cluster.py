@@ -1,10 +1,18 @@
-"""The cluster: a collection of machines with aggregate slot accounting."""
+"""The cluster: a collection of machines with aggregate slot accounting.
+
+Aggregate capacity (``total_slots``) and the set of machines with a free
+slot are maintained *incrementally* — slot acquire/release updates an
+O(log machines) :class:`~repro.cluster.index.ClusterIndex` instead of
+every reader rescanning the machine list. Blacklist application and
+reset are the only wholesale recomputations.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
 from repro.cluster.blacklist import Blacklist
+from repro.cluster.index import ClusterIndex
 from repro.cluster.machine import Machine
 
 
@@ -47,6 +55,12 @@ class Cluster:
             raise ValueError("cluster must contain at least one machine")
         self.blacklist = Blacklist()
         self._busy_count = 0
+        self._total_slots = self._scan_total_slots()
+        #: Incremental free-slot index (see repro.cluster.index).
+        self.index = ClusterIndex(self.machines)
+
+    def _scan_total_slots(self) -> int:
+        return sum(m.num_slots for m in self.machines if not m.blacklisted)
 
     @property
     def num_machines(self) -> int:
@@ -54,7 +68,7 @@ class Cluster:
 
     @property
     def total_slots(self) -> int:
-        return sum(m.num_slots for m in self.machines if not m.blacklisted)
+        return self._total_slots
 
     @property
     def busy_slots(self) -> int:
@@ -62,17 +76,22 @@ class Cluster:
 
     @property
     def free_slots(self) -> int:
-        return self.total_slots - self._busy_count
+        return self._total_slots - self._busy_count
 
     def acquire_slot(self, machine_id: int) -> None:
         """Mark a slot busy on ``machine_id`` (O(1) aggregate tracking)."""
-        self.machines[machine_id].acquire_slot()
+        machine = self.machines[machine_id]
+        machine.acquire_slot()
         self._busy_count += 1
+        if machine.busy_slots == machine.num_slots:
+            self.index.set_machine(machine_id, False)
 
     def release_slot(self, machine_id: int) -> None:
         """Mark a slot free on ``machine_id``."""
-        self.machines[machine_id].release_slot()
+        machine = self.machines[machine_id]
+        machine.release_slot()
         self._busy_count -= 1
+        self.index.refresh(machine)
 
     def machine(self, machine_id: int) -> Machine:
         return self.machines[machine_id]
@@ -81,7 +100,7 @@ class Cluster:
         return [m for m in self.machines if m.has_free_slot]
 
     def utilization(self) -> float:
-        total = self.total_slots
+        total = self._total_slots
         return self.busy_slots / total if total else 0.0
 
     def apply_blacklist(self) -> None:
@@ -89,8 +108,12 @@ class Cluster:
         blacklist problematic machines and avoid scheduling on them)."""
         for machine in self.machines:
             machine.blacklisted = self.blacklist.is_blacklisted(machine.machine_id)
+        self._total_slots = self._scan_total_slots()
+        self.index.rebuild(self.machines)
 
     def reset(self) -> None:
         for machine in self.machines:
             machine.reset()
         self._busy_count = 0
+        self._total_slots = self._scan_total_slots()
+        self.index.rebuild(self.machines)

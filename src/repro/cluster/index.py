@@ -1,0 +1,121 @@
+"""Incrementally maintained cluster-state indexes.
+
+The centralized simulator used to answer "which machines have a free
+slot?" by scanning the whole machine list — an O(machines) walk on every
+dispatch iteration that capped it far below the 20k-slot regime the
+decentralized path already reaches. Following the self-adjusting-
+structure idea (keep the index consistent under updates instead of
+rescanning), :class:`ClusterIndex` maintains a Fenwick tree over machine
+ids with a set bit for every machine that currently has a free slot:
+
+* ``free_machine_count`` — O(1);
+* ``nth_free_machine(k)`` — the k-th free machine *in ascending
+  machine-id order*, O(log machines) via binary descent;
+* ``set_machine(machine_id, is_free)`` — O(log machines), no-op when
+  the bit is unchanged.
+
+Ascending-id enumeration order is load-bearing: it makes
+``nth_free_machine(rng.randrange(count))`` consume the same entropy and
+return the same machine as the old ``rng.choice(machines_with_free_
+slots())``, so replays are bit-identical to the scan-based simulator
+(see ``tests/test_golden_results.py``).
+
+Per-job indexes (pending-task locality buckets, running-copy counters)
+live on :class:`repro.runtime.JobRuntime`; this module owns the
+cluster-wide machine index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class ClusterIndex:
+    """Fenwick-tree free-slot index over a fixed machine list.
+
+    The index mirrors ``machine.has_free_slot`` (which is False for
+    blacklisted machines); :class:`repro.cluster.cluster.Cluster`
+    refreshes the relevant bit on every slot acquire/release and
+    rebuilds the index wholesale on reset / blacklist application.
+    """
+
+    __slots__ = ("_size", "_tree", "_bits", "_top_bit", "free_machine_count")
+
+    def __init__(self, machines: Sequence) -> None:
+        self.rebuild(machines)
+
+    # -- construction -------------------------------------------------------
+
+    def rebuild(self, machines: Sequence) -> None:
+        """Recompute the whole index from scratch (O(machines))."""
+        n = len(machines)
+        self._size = n
+        self._top_bit = 1 << (n.bit_length() - 1) if n else 0
+        bits = [1 if m.has_free_slot else 0 for m in machines]
+        self._bits = bits
+        self.free_machine_count = sum(bits)
+        # O(n) Fenwick build: each node accumulates into its parent.
+        tree = [0] * (n + 1)
+        for i in range(1, n + 1):
+            tree[i] += bits[i - 1]
+            parent = i + (i & -i)
+            if parent <= n:
+                tree[parent] += tree[i]
+        self._tree = tree
+
+    # -- updates ------------------------------------------------------------
+
+    def set_machine(self, machine_id: int, is_free: bool) -> None:
+        """Record that ``machine_id`` gained/lost its last free slot."""
+        bit = 1 if is_free else 0
+        bits = self._bits
+        if bits[machine_id] == bit:
+            return
+        bits[machine_id] = bit
+        delta = 1 if bit else -1
+        self.free_machine_count += delta
+        tree = self._tree
+        size = self._size
+        j = machine_id + 1
+        while j <= size:
+            tree[j] += delta
+            j += j & -j
+
+    def refresh(self, machine) -> None:
+        """Sync one machine's bit from its ``has_free_slot`` flag."""
+        self.set_machine(machine.machine_id, machine.has_free_slot)
+
+    # -- queries ------------------------------------------------------------
+
+    def nth_free_machine(self, k: int) -> int:
+        """Id of the k-th (0-based) free machine in ascending-id order."""
+        if not 0 <= k < self.free_machine_count:
+            raise IndexError(
+                f"free-machine index {k} out of range "
+                f"(count={self.free_machine_count})"
+            )
+        tree = self._tree
+        size = self._size
+        pos = 0
+        remaining = k + 1
+        bit = self._top_bit
+        while bit:
+            nxt = pos + bit
+            if nxt <= size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return pos
+
+    def first_free_machine(self) -> Optional[int]:
+        """Lowest-id machine with a free slot, or None."""
+        if not self.free_machine_count:
+            return None
+        return self.nth_free_machine(0)
+
+    def free_machine_ids(self) -> List[int]:
+        """All free machine ids, ascending (for tests/debugging)."""
+        return [i for i, bit in enumerate(self._bits) if bit]
+
+    def __len__(self) -> int:
+        return self._size

@@ -250,7 +250,11 @@ def fair_allocation(
     while remaining and leftover > 0:
         total_weight = sum(j.weight for j in remaining)
         share = leftover / total_weight
-        saturated = [j for j in remaining if j.cap - alloc[j.job_id] <= share * j.weight]
+        saturated = [
+            j
+            for j in remaining
+            if j.cap - alloc[j.job_id] <= share * j.weight
+        ]
         if not saturated:
             break
         for job in saturated:

@@ -10,34 +10,28 @@ virtual-size, remaining-count and starvation updates on its messages
 from __future__ import annotations
 
 import math
-from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.decentralized.messages import JobGossip, Request, ResponseType
-from repro.speculation.base import JobExecutionView, SpeculationPolicy
+from repro.runtime import JobRuntime
+from repro.speculation.base import SpeculationPolicy
 from repro.workload.job import Job
-from repro.workload.task import Task, TaskState
+from repro.workload.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.decentralized.simulator import DecentralizedSimulator
     from repro.decentralized.worker import Episode, Worker
 
 
-class SchedulerJob:
-    """Scheduler-side runtime state for one job."""
+class SchedulerJob(JobRuntime):
+    """Scheduler-side runtime state for one job: the shared
+    :class:`repro.runtime.JobRuntime` core plus the gossip / probe
+    accounting only the decentralized protocol needs."""
 
     __slots__ = (
-        "job",
-        "view",
-        "pending",
-        "activated_phases",
         "gossip",
         "occupied",
         "probes_sent",
-        "spec_policy",
-        "spec_candidates",
-        "spec_dirty",
-        "spec_cache_time",
         "spec_probed_tasks",
         "last_activity",
     )
@@ -49,45 +43,15 @@ class SchedulerJob:
         spec_policy: SpeculationPolicy,
         now: float,
     ) -> None:
-        self.job = job
-        self.view = JobExecutionView(job=job)
-        self.pending: Deque[Task] = deque()
-        self.activated_phases: Set[int] = set()
+        super().__init__(job, spec_policy)
         self.gossip = gossip
         self.occupied = 0  # running copies across the cluster
         self.probes_sent = 0
-        self.spec_policy = spec_policy
-        self.spec_candidates: list = []
-        self.spec_dirty = True
-        self.spec_cache_time = -float("inf")
         self.spec_probed_tasks: Set[int] = set()
         self.last_activity = now
 
-    def activate_runnable_phases(self) -> List[Task]:
-        """Queue tasks of newly runnable phases; returns the new tasks."""
-        fresh: List[Task] = []
-        for phase in self.job.phases:
-            if phase.index in self.activated_phases:
-                continue
-            if self.job.phase_is_runnable(phase):
-                self.activated_phases.add(phase.index)
-                for task in phase.tasks:
-                    if not task.is_finished:
-                        self.pending.append(task)
-                        fresh.append(task)
-        return fresh
-
     def next_pending(self) -> Optional[Task]:
-        pending = self.pending
-        while pending and pending[0].state is TaskState.FINISHED:
-            pending.popleft()
-        return pending.popleft() if pending else None
-
-    def has_pending(self) -> bool:
-        pending = self.pending
-        while pending and pending[0].state is TaskState.FINISHED:
-            pending.popleft()
-        return bool(pending)
+        return self.pop_pending()
 
 
 class SchedulerAgent:
@@ -224,14 +188,7 @@ class SchedulerAgent:
     # -- speculation --------------------------------------------------------
 
     def _candidates(self, sj: SchedulerJob) -> list:
-        now = self._engine._now
-        if sj.spec_dirty or now - sj.spec_cache_time >= 0.25:
-            sj.spec_candidates = sj.spec_policy.speculation_candidates(
-                sj.view, now
-            )
-            sj.spec_dirty = False
-            sj.spec_cache_time = now
-        return sj.spec_candidates
+        return sj.speculation_candidates(self._engine._now, 0.25)
 
     def _next_speculative_task(self, sj: SchedulerJob) -> Optional[Task]:
         candidates = self._candidates(sj)
@@ -327,15 +284,14 @@ class SchedulerAgent:
         sj.occupied -= 1
         sj.spec_dirty = True
 
-    def on_task_finished(self, sj: SchedulerJob, task: Task) -> List:
-        """Returns sibling copies to kill."""
+    def on_task_finished(self, sj: SchedulerJob, task: Task) -> None:
+        """React to a task completing (the simulator already marked it
+        finished and collected the race losers via the copy ledger)."""
         sj.spec_dirty = True
-        siblings = [c for c in sj.view.copies_of(task) if c.is_running]
         fresh = sj.activate_runnable_phases()
         if fresh:
             self._send_probes(sj, len(fresh))
         self._refresh_gossip(sj)
-        return siblings
 
     def complete_job(self, sj: SchedulerJob) -> None:
         sj.gossip.active = False

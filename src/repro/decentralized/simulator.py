@@ -32,13 +32,14 @@ from repro.decentralized.worker import Worker
 from repro.estimation.alpha import AlphaEstimator
 from repro.estimation.beta import OnlineBetaEstimator
 from repro.metrics.collector import MetricsCollector, SimulationResult
-from repro.simulation.engine import EventHandle, Simulator
+from repro.runtime import CopyLedger
+from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomSource
 from repro.speculation.base import SpeculationPolicy
 from repro.stragglers.model import StragglerModel
 from repro.stragglers.progress import TaskCopy
 from repro.workload.job import Job
-from repro.workload.task import Task, TaskState
+from repro.workload.task import Task
 from repro.workload.traces import Trace
 
 
@@ -102,8 +103,7 @@ class DecentralizedSimulator:
             for i in range(self.config.num_schedulers)
         ]
         self._owner: Dict[int, SchedulerAgent] = {}
-        self._copy_events: Dict[int, EventHandle] = {}
-        self._next_copy_id = 0
+        self.ledger = CopyLedger(self.sim, self.metrics, self.beta_estimator)
         self._next_scheduler = 0
         self._active_jobs = 0
         self._spec_check_scheduled = False
@@ -267,47 +267,37 @@ class DecentralizedSimulator:
             self.rng, task, worker.worker_id, attempt
         )
         duration = task.size * slowdown
-        copy = TaskCopy(
-            copy_id=self._next_copy_id,
-            task=task,
-            machine_id=worker.worker_id,
-            start_time=self.sim.now,
-            duration=duration,
-            speculative=speculative,
+        copy = self.ledger.launch(
+            sj.view,
+            task,
+            worker.worker_id,
+            duration,
+            speculative,
+            True,
+            self._on_copy_finish,
         )
-        self._next_copy_id += 1
-        sj.view.register_copy(copy)
         worker.bind_copy(copy)
         scheduler.on_copy_bound(sj)
-        handle = self.sim.schedule(duration, self._on_copy_finish, copy)
-        self._copy_events[copy.copy_id] = handle
-        self.metrics.record_copy_launch(speculative=speculative, local=True)
 
     def _on_copy_finish(self, copy: TaskCopy) -> None:
-        self._copy_events.pop(copy.copy_id, None)
-        copy.finished = True
-        copy.end_time = self.sim.now
+        self.ledger.settle_finished(copy)
         task = copy.task
         scheduler = self._owner.get(task.job_id)
         sj = scheduler.jobs.get(task.job_id) if scheduler else None
+        # Freeing the worker's slot may start a new selection episode;
+        # that must observe the pre-finish view/gossip, exactly as the
+        # pre-ledger simulator did, so the view update comes after.
         self.workers[copy.machine_id].release_copy(copy)
-        self.metrics.record_copy_finished(
-            copy.duration,
-            speculative_win=copy.speculative and not task.is_finished,
-        )
+        won = self.ledger.record_finish(copy)
         if sj is None:
             return
         sj.view.remove_copy(copy)
         scheduler.on_copy_gone(sj)
 
-        if not task.is_finished:
-            task.state = TaskState.FINISHED
-            task.finish_time = self.sim.now
-            task.completed_by_speculative = copy.speculative
-            sj.job.phase(task.phase_index).mark_task_finished(task.size)
-            sj.view.completed_durations.append(copy.duration)
-            self.beta_estimator.observe(copy.duration)
-            for sibling in scheduler.on_task_finished(sj, task):
+        if won:
+            siblings = self.ledger.finish_task(sj.view, copy)
+            scheduler.on_task_finished(sj, task)
+            for sibling in siblings:
                 self._kill_copy(sibling, scheduler, sj)
             if sj.job.is_complete:
                 self._complete_job(scheduler, sj)
@@ -318,30 +308,15 @@ class DecentralizedSimulator:
         scheduler: SchedulerAgent,
         sj: SchedulerJob,
     ) -> None:
-        handle = self._copy_events.pop(copy.copy_id, None)
-        if handle is not None:
-            handle.cancel()
-        copy.killed = True
-        copy.end_time = self.sim.now
-        sj.view.remove_copy(copy)
+        self.ledger.kill(copy, sj.view)
         scheduler.on_copy_gone(sj)
-        self.metrics.record_copy_killed(copy.resource_time(self.sim.now))
         # The kill travels to the worker as a control message.
         self.metrics.record_message()
         self.workers[copy.machine_id].release_copy(copy)
 
     def _complete_job(self, scheduler: SchedulerAgent, sj: SchedulerJob) -> None:
         job = sj.job
-        job.finish_time = self.sim.now
-        self.metrics.record_job_completion(
-            job_id=job.job_id,
-            name=job.name,
-            num_tasks=job.num_tasks,
-            dag_length=job.dag_length,
-            arrival_time=job.arrival_time,
-            finish_time=self.sim.now,
-        )
-        self.alpha_estimator.observe_job(job)
+        self.ledger.record_job_completion(job, self.alpha_estimator)
         scheduler.complete_job(sj)
         self._purge_job_requests(job.job_id)
         self._owner.pop(job.job_id, None)

@@ -73,9 +73,24 @@ def default_straggler_model(profile: WorkloadProfile) -> StragglerModel:
     )
 
 
-def _centralized_policy(name: str, epsilon: float) -> CentralizedPolicy:
+def _centralized_system(
+    name: str, epsilon: float
+) -> tuple[CentralizedPolicy, SpeculationMode]:
+    """Resolve a centralized scheduler family member: the policy plus
+    its registered default speculation mode.
+
+    Plain-callable registrations (no
+    :class:`~repro.registry.CentralizedSystemDefaults` wrapper) default
+    to BEST_EFFORT, the mode every non-Hopper baseline runs under.
+    """
     entry = registry.CENTRALIZED_SYSTEMS.get(name.lower())
-    return entry.factory(epsilon=epsilon)
+    mode_name = getattr(entry.factory, "speculation_mode", None)
+    mode = (
+        SpeculationMode(mode_name)
+        if mode_name is not None
+        else SpeculationMode.BEST_EFFORT
+    )
+    return entry.factory(epsilon=epsilon), mode
 
 
 def _resolve_straggler_model(
@@ -114,17 +129,14 @@ def run_centralized(
     """Replay ``trace`` under one centralized policy.
 
     The trace is deep-copied first, so the same object can be replayed
-    under several systems. Baselines default to BEST_EFFORT speculation;
-    Hopper defaults to INTEGRATED. ``policy`` and (string-valued)
-    ``straggler_model`` resolve through :mod:`repro.registry`.
+    under several systems. ``policy`` and (string-valued)
+    ``straggler_model`` resolve through :mod:`repro.registry`; each
+    centralized system's registry entry carries its default speculation
+    mode (BEST_EFFORT for the baselines, INTEGRATED for Hopper).
     """
-    policy_obj = _centralized_policy(policy, epsilon)
+    policy_obj, default_mode = _centralized_system(policy, epsilon)
     if speculation_mode is None:
-        speculation_mode = (
-            SpeculationMode.INTEGRATED
-            if policy == "hopper"
-            else SpeculationMode.BEST_EFFORT
-        )
+        speculation_mode = default_mode
     num_machines = max(1, spec.total_slots // slots_per_machine)
     cluster = Cluster(
         num_machines=num_machines, slots_per_machine=slots_per_machine

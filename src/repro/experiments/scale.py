@@ -1,14 +1,23 @@
-"""The ``scale`` study: decentralized scheduling at 10k+-slot clusters.
+"""The ``scale`` study: scheduling at 10k+-slot clusters.
 
-The paper's decentralized results run at a few hundred slots; the
-interesting regime for a *decentralized* design is the one where a
-central scheduler could not keep up. This study sweeps cluster size
-(1k -> 20k slots) crossed with the probe ratio d, under the Spark-like
-Facebook workload, on decentralized Hopper vs Sparrow-SRPT. It became
-tractable when the simulator's hot path was batched/indexed (see
-``repro.simulation.engine`` and ``repro.decentralized.simulator``);
-``benchmarks/bench_scale.py`` tracks the events/sec this regime runs at
-and gates CI on it.
+The paper's results run at a few hundred slots; the interesting regime
+for the *systems* comparison is the one where cluster size itself is the
+stressor. This study sweeps cluster size (1k -> 20k slots) on two axes:
+
+* **decentralized** — Hopper vs Sparrow-SRPT crossed with the probe
+  ratio d, under the Spark-like Facebook workload (became tractable
+  when the event loop was batched/indexed, PR 3);
+* **centralized** — Hopper-C and SRPT on the same cluster sizes, which
+  became tractable when the centralized simulator was rebuilt on the
+  shared runtime core and the incremental
+  :class:`~repro.cluster.index.ClusterIndex` (this is the regime the
+  old O(machines)-per-reschedule scan could not reach).
+
+``benchmarks/bench_scale.py`` tracks the events/sec both axes run at
+and gates CI on it. The ``--quick`` grid is unchanged from the study's
+birth (decentralized Hopper at 2k/10k slots) so its golden digest in
+``tests/test_golden_results.py`` keeps pinning bit-identical replays;
+the centralized axis lives in the full grid.
 
 Run it like any registered study::
 
@@ -28,6 +37,7 @@ def _scale_cells(
     cluster_sizes: Sequence[int] = (1000, 2500, 5000, 10000, 20000),
     probe_ratios: Sequence[float] = (2.0, 4.0),
     systems: Sequence[str] = ("hopper", "sparrow-srpt"),
+    centralized_systems: Sequence[str] = ("hopper", "srpt"),
     num_jobs: int = 150,
     utilization: float = 0.6,
 ) -> List[Cell]:
@@ -57,11 +67,41 @@ def _scale_cells(
                 cells.append(
                     cell(
                         make_spec,
+                        kind="decentralized",
                         total_slots=total_slots,
                         system=system,
                         probe_ratio=ratio,
                     )
                 )
+    # Centralized axis: same cluster sizes and workload, one omniscient
+    # scheduler (no probe-ratio dimension).
+    for total_slots in cluster_sizes:
+        for system in centralized_systems:
+            def make_centralized_spec(
+                seed: int,
+                total_slots: int = total_slots,
+                system: str = system,
+            ) -> RunSpec:
+                return RunSpec(
+                    "centralized",
+                    system,
+                    WorkloadParams(
+                        profile="spark-facebook",
+                        num_jobs=num_jobs,
+                        utilization=utilization,
+                        total_slots=total_slots,
+                        seed=seed,
+                    ),
+                )
+
+            cells.append(
+                cell(
+                    make_centralized_spec,
+                    kind="centralized",
+                    total_slots=total_slots,
+                    system=system,
+                )
+            )
     return cells
 
 
@@ -69,16 +109,20 @@ SCALE_STUDY = register_study(
     Study(
         name="scale",
         description=(
-            "decentralized Hopper vs Sparrow-SRPT on 1k-20k-slot clusters "
-            "across probe ratios"
+            "decentralized Hopper vs Sparrow-SRPT (and centralized "
+            "Hopper-C vs SRPT) on 1k-20k-slot clusters"
         ),
         build_cells=_scale_cells,
         # --quick still covers the >=10k-slot regime (that is the point
-        # of the study); it trims the grid, not the cluster size.
+        # of the study); it trims the grid, not the cluster size. It
+        # predates the centralized axis and must keep producing the
+        # exact result sequence its golden digest pins, so the
+        # centralized cells stay out of it.
         quick=dict(
             cluster_sizes=(2000, 10000),
             probe_ratios=(4.0,),
             systems=("hopper",),
+            centralized_systems=(),
             num_jobs=40,
         ),
     )

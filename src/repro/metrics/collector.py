@@ -126,7 +126,9 @@ class MetricsCollector:
         else:
             self.result.remote_copies += 1
 
-    def record_copy_finished(self, slot_time: float, speculative_win: bool = False) -> None:
+    def record_copy_finished(
+        self, slot_time: float, speculative_win: bool = False
+    ) -> None:
         self.result.useful_slot_time += slot_time
         if speculative_win:
             self.result.speculative_wins += 1

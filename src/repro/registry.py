@@ -58,7 +58,6 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
-    Type,
     Union,
 )
 
@@ -271,6 +270,7 @@ def spec_kind(name: str) -> SpecKind:
 
 def studies() -> Registry:
     """The study registry, with the built-in studies loaded."""
+    import repro.experiments.blacklist  # noqa: F401  (registers blacklist)
     import repro.experiments.figures  # noqa: F401  (registers studies)
     import repro.experiments.scale  # noqa: F401  (registers the scale study)
 
@@ -320,19 +320,40 @@ def _hopper_factory(epsilon: float = 0.1):
     return HopperPolicy(epsilon=epsilon)
 
 
+@dataclass(frozen=True)
+class CentralizedSystemDefaults:
+    """A centralized scheduler family member: policy factory plus the
+    speculation mode the paper runs it under by default.
+
+    Instances are callable with the legacy ``factory(epsilon=...) ->
+    CentralizedPolicy`` contract, so plain-callable registrations (and
+    any code holding ``entry.factory``) keep working; the harness
+    additionally reads ``speculation_mode`` instead of special-casing
+    system names. ``speculation_mode`` is a
+    :class:`~repro.centralized.config.SpeculationMode` value string so
+    this module never imports the simulator at import time.
+    """
+
+    make_policy: Any
+    speculation_mode: Optional[str] = None
+
+    def __call__(self, epsilon: float = 0.1):
+        return self.make_policy(epsilon=epsilon)
+
+
 CENTRALIZED_SYSTEMS.register(
     "fair",
-    _fair_factory,
+    CentralizedSystemDefaults(_fair_factory, speculation_mode="best_effort"),
     description="max-min fair sharing across active jobs",
 )
 CENTRALIZED_SYSTEMS.register(
     "srpt",
-    _srpt_factory,
+    CentralizedSystemDefaults(_srpt_factory, speculation_mode="best_effort"),
     description="shortest remaining processing time (speculation-blind)",
 )
 CENTRALIZED_SYSTEMS.register(
     "hopper",
-    _hopper_factory,
+    CentralizedSystemDefaults(_hopper_factory, speculation_mode="integrated"),
     description="speculation-aware Hopper allocation (the paper's system)",
 )
 
@@ -791,6 +812,7 @@ __all__ = [
     "DuplicateEntryError",
     "KnobError",
     "SpecKind",
+    "CentralizedSystemDefaults",
     "DecentralizedSystemDefaults",
     "SPEC_KINDS",
     "CENTRALIZED_SYSTEMS",

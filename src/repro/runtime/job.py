@@ -1,0 +1,208 @@
+"""Per-job runtime state shared by both simulator families.
+
+A :class:`JobRuntime` owns what a scheduler must track per job while it
+replays: the pending-task queue fed by DAG phase activation, the
+:class:`~repro.speculation.base.JobExecutionView` the speculation policy
+inspects, and the throttled speculation-candidate cache.
+
+:class:`LocalityJobRuntime` adds per-machine buckets counting how many
+queued tasks prefer each machine — a *fast-reject* index for
+locality-aware dispatch, used by the centralized plane only (the
+decentralized protocol never asks locality questions, so its
+``SchedulerJob`` stays on the bucket-free base and pays nothing on the
+enqueue/dequeue hot path). The buckets do not replace the bounded
+locality scan: the scan window (first 64 queue entries) is observable
+behavior that the golden digests pin, so the exact scan still runs
+whenever a bucket says a match might exist. The buckets only prove the
+frequent negative ("no queued task prefers machine m at all") in O(1)
+instead of O(64).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.speculation.base import JobExecutionView, SpeculationPolicy
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+
+class JobRuntime:
+    """Mutable per-job execution state owned by a simulator.
+
+    Subclasses add family-specific state (the centralized runtime adds
+    locality buckets and running-copy counters, the decentralized
+    ``SchedulerJob`` adds gossip and probe accounting).
+    """
+
+    __slots__ = (
+        "job",
+        "view",
+        "pending",
+        "pending_ids",
+        "activated_phases",
+        "spec_policy",
+        "spec_dirty",
+        "spec_cache_time",
+        "spec_candidates",
+    )
+
+    def __init__(
+        self, job: Job, spec_policy: Optional[SpeculationPolicy] = None
+    ) -> None:
+        self.job = job
+        self.view = JobExecutionView(job=job)
+        self.pending: Deque[Task] = deque()
+        self.pending_ids: Set[int] = set()
+        self.activated_phases: Set[int] = set()
+        self.spec_policy = spec_policy
+        # Throttled speculation-candidate cache.
+        self.spec_dirty = True
+        self.spec_cache_time = -float("inf")
+        self.spec_candidates: list = []
+
+    # -- pending queue ------------------------------------------------------
+
+    def activate_runnable_phases(self) -> List[Task]:
+        """Queue tasks of newly runnable phases; returns the new tasks."""
+        fresh: List[Task] = []
+        for phase in self.job.phases:
+            if phase.index in self.activated_phases:
+                continue
+            if self.job.phase_is_runnable(phase):
+                self.activated_phases.add(phase.index)
+                for task in phase.tasks:
+                    if not task.is_finished:
+                        self.pending.append(task)
+                        self.pending_ids.add(task.task_id)
+                        self._note_queued(task)
+                        fresh.append(task)
+        return fresh
+
+    def _note_queued(self, task: Task) -> None:
+        """Index hook: a task entered the pending queue (no-op here)."""
+
+    def _note_dequeued(self, task: Task) -> None:
+        """Index hook: a task left the pending queue (no-op here)."""
+
+    def may_have_local_pending(self, machine_id: int) -> bool:
+        """Whether a queued task *might* prefer ``machine_id``. The
+        index-free base is conservative (always scan)."""
+        return True
+
+    def pop_pending(self, prefer_machine: Optional[int] = None) -> Optional[Task]:
+        """Take the next pending task, preferring one local to
+        ``prefer_machine`` (bounded scan)."""
+        pending = self.pending
+        while pending and pending[0].is_finished:
+            dropped = pending.popleft()
+            self.pending_ids.discard(dropped.task_id)
+            self._note_dequeued(dropped)
+        if not pending:
+            return None
+        if prefer_machine is not None and self.may_have_local_pending(
+            prefer_machine
+        ):
+            scan_limit = min(len(pending), 64)
+            for i in range(scan_limit):
+                task = pending[i]
+                if not task.is_finished and task.prefers(prefer_machine):
+                    del pending[i]
+                    self.pending_ids.discard(task.task_id)
+                    self._note_dequeued(task)
+                    return task
+        task = pending.popleft()
+        self.pending_ids.discard(task.task_id)
+        self._note_dequeued(task)
+        return task
+
+    def has_pending(self) -> bool:
+        """True when an unfinished task is queued (prunes finished ones
+        from the queue front as a side effect)."""
+        pending = self.pending
+        while pending and pending[0].is_finished:
+            dropped = pending.popleft()
+            self.pending_ids.discard(dropped.task_id)
+            self._note_dequeued(dropped)
+        return bool(pending)
+
+    def has_pending_local_to(self, machine_id: int) -> bool:
+        if not self.may_have_local_pending(machine_id):
+            return False
+        pending = self.pending
+        scan_limit = min(len(pending), 64)
+        for i in range(scan_limit):
+            task = pending[i]
+            if not task.is_finished and task.prefers(machine_id):
+                return True
+        return False
+
+    def discard_pending_id(self, task_id: int) -> None:
+        """Forget a task id that finished without being dequeued (the
+        queue entry itself is lazily dropped by pop_pending)."""
+        self.pending_ids.discard(task_id)
+
+    # -- speculation candidates --------------------------------------------
+
+    def speculation_candidates(self, now: float, min_interval: float) -> list:
+        """Throttled candidate evaluation: re-run the policy's scan only
+        when this job's copies changed or the throttle interval elapsed."""
+        if self.spec_dirty or now - self.spec_cache_time >= min_interval:
+            self.spec_candidates = self.spec_policy.speculation_candidates(
+                self.view, now
+            )
+            self.spec_cache_time = now
+            self.spec_dirty = False
+        return self.spec_candidates
+
+    def mark_copies_changed(self) -> None:
+        """Invalidate the speculation-candidate cache."""
+        self.spec_dirty = True
+
+
+class LocalityJobRuntime(JobRuntime):
+    """JobRuntime with per-machine locality buckets over the queue.
+
+    ``may_have_local_pending`` becomes an O(1) exact negative: it is
+    False only when *no* queued task prefers the machine, so guarding
+    the bounded scan with it never changes which task is picked.
+    """
+
+    __slots__ = ("_local_counts", "_wildcard_pending")
+
+    def __init__(
+        self, job: Job, spec_policy: Optional[SpeculationPolicy] = None
+    ) -> None:
+        super().__init__(job, spec_policy)
+        # machine -> queued tasks preferring it, plus a count of queued
+        # tasks with no preference (they "prefer" everything — see
+        # Task.prefers).
+        self._local_counts: Dict[int, int] = {}
+        self._wildcard_pending = 0
+
+    def _note_queued(self, task: Task) -> None:
+        preferred = task.preferred_machines
+        if preferred:
+            counts = self._local_counts
+            for machine_id in preferred:
+                counts[machine_id] = counts.get(machine_id, 0) + 1
+        else:
+            self._wildcard_pending += 1
+
+    def _note_dequeued(self, task: Task) -> None:
+        preferred = task.preferred_machines
+        if preferred:
+            counts = self._local_counts
+            for machine_id in preferred:
+                left = counts[machine_id] - 1
+                if left:
+                    counts[machine_id] = left
+                else:
+                    del counts[machine_id]
+        else:
+            self._wildcard_pending -= 1
+
+    def may_have_local_pending(self, machine_id: int) -> bool:
+        """False only when *no* queued task prefers ``machine_id``."""
+        return self._wildcard_pending > 0 or machine_id in self._local_counts

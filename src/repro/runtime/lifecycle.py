@@ -1,0 +1,148 @@
+"""Task-copy lifecycle shared by both simulator families.
+
+A :class:`CopyLedger` owns copy identity (monotonic copy ids), the
+pending finish-event handles, and the bookkeeping every copy transition
+must perform against the speculation view, the metrics collector, and
+the beta estimator. The centralized and decentralized simulators differ
+in *slot* accounting (cluster machines vs worker queues) and in the
+order side effects interleave with their control planes, so the ledger
+exposes both a composite :meth:`finish` (centralized) and the
+fine-grained :meth:`settle_finished` / :meth:`record_finish` pieces the
+decentralized simulator needs to keep its episode machinery firing at
+exactly the pre-refactor points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.estimation.alpha import AlphaEstimator
+from repro.estimation.beta import OnlineBetaEstimator
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.engine import EventHandle, Simulator
+from repro.speculation.base import JobExecutionView
+from repro.stragglers.progress import TaskCopy
+from repro.workload.job import Job
+from repro.workload.task import Task, TaskState
+
+
+class CopyLedger:
+    """Copy identity + lifecycle bookkeeping for one simulator run."""
+
+    __slots__ = ("engine", "metrics", "beta_estimator", "events", "_next_copy_id")
+
+    def __init__(
+        self,
+        engine: Simulator,
+        metrics: MetricsCollector,
+        beta_estimator: OnlineBetaEstimator,
+    ) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self.beta_estimator = beta_estimator
+        #: copy id -> pending finish-event handle
+        self.events: Dict[int, EventHandle] = {}
+        self._next_copy_id = 0
+
+    # -- launch -------------------------------------------------------------
+
+    def launch(
+        self,
+        view: JobExecutionView,
+        task: Task,
+        machine_id: int,
+        duration: float,
+        speculative: bool,
+        local: bool,
+        on_finish,
+        *finish_args,
+    ) -> TaskCopy:
+        """Create a copy, register it with the view, schedule its finish
+        event, and record the launch."""
+        copy = TaskCopy(
+            copy_id=self._next_copy_id,
+            task=task,
+            machine_id=machine_id,
+            start_time=self.engine.now,
+            duration=duration,
+            speculative=speculative,
+        )
+        self._next_copy_id += 1
+        view.register_copy(copy)
+        self.events[copy.copy_id] = self.engine.schedule(
+            duration, on_finish, copy, *finish_args
+        )
+        self.metrics.record_copy_launch(speculative=speculative, local=local)
+        return copy
+
+    # -- finish -------------------------------------------------------------
+
+    def settle_finished(self, copy: TaskCopy) -> None:
+        """Drop the event handle and stamp the copy as finished."""
+        self.events.pop(copy.copy_id, None)
+        copy.finished = True
+        copy.end_time = self.engine.now
+
+    def record_finish(self, copy: TaskCopy) -> bool:
+        """Record the finish; returns True when this copy won the race
+        (its task was still unfinished)."""
+        won = not copy.task.is_finished
+        self.metrics.record_copy_finished(
+            copy.duration, speculative_win=copy.speculative and won
+        )
+        return won
+
+    def finish(self, copy: TaskCopy, view: JobExecutionView) -> bool:
+        """Composite finish: settle, detach from the view, record.
+
+        Returns True when this copy won the race.
+        """
+        self.settle_finished(copy)
+        view.remove_copy(copy)
+        return self.record_finish(copy)
+
+    # -- kill ---------------------------------------------------------------
+
+    def kill(self, copy: TaskCopy, view: JobExecutionView) -> None:
+        """Cancel a running copy: detach it everywhere and account its
+        wasted slot-time."""
+        handle = self.events.pop(copy.copy_id, None)
+        if handle is not None:
+            handle.cancel()
+        copy.killed = True
+        copy.end_time = self.engine.now
+        view.remove_copy(copy)
+        self.metrics.record_copy_killed(copy.resource_time(self.engine.now))
+
+    # -- task / job completion ----------------------------------------------
+
+    def finish_task(self, view: JobExecutionView, copy: TaskCopy) -> List[TaskCopy]:
+        """Mark the winner's task finished and feed the estimators;
+        returns the still-running sibling copies (the race losers)."""
+        task = copy.task
+        task.state = TaskState.FINISHED
+        task.finish_time = self.engine.now
+        task.completed_by_speculative = copy.speculative
+        view.job.phase(task.phase_index).mark_task_finished(task.size)
+        view.completed_durations.append(copy.duration)
+        self.beta_estimator.observe(copy.duration)
+        return [
+            c for c in view.copies_by_task.get(task.task_id, ()) if c.is_running
+        ]
+
+    def record_job_completion(
+        self, job: Job, alpha_estimator: Optional[AlphaEstimator] = None
+    ) -> None:
+        """Stamp and record a completed job (and teach the alpha model)."""
+        now = self.engine.now
+        job.finish_time = now
+        self.metrics.record_job_completion(
+            job_id=job.job_id,
+            name=job.name,
+            num_tasks=job.num_tasks,
+            dag_length=job.dag_length,
+            arrival_time=job.arrival_time,
+            finish_time=now,
+        )
+        if alpha_estimator is not None:
+            alpha_estimator.observe_job(job)

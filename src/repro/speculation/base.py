@@ -71,6 +71,19 @@ class JobExecutionView:
     _pending_time: float = field(
         default=-float("inf"), repr=False, compare=False
     )
+    # Live *speculative* copies indexed per task, plus the order in which
+    # tasks first entered copies_by_task. Together they let
+    # live_speculative_copies() reproduce, without a full scan, exactly
+    # the enumeration order of walking copies_by_task — which the
+    # centralized preemption path depends on for bit-identical victim
+    # selection (stable sort ties break on enumeration order).
+    _spec_live: Dict[int, List[TaskCopy]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _task_seq: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _next_task_seq: int = field(default=0, repr=False, compare=False)
 
     def register_copy(self, copy: TaskCopy) -> None:
         """Track a newly launched copy."""
@@ -78,10 +91,18 @@ class JobExecutionView:
         live = self.copies_by_task.get(task_id)
         if live is None:
             self.copies_by_task[task_id] = [copy]
+            self._task_seq[task_id] = self._next_task_seq
+            self._next_task_seq += 1
         else:
             live.append(copy)
             if len(live) == 2:
                 self.num_speculating_tasks += 1
+        if copy.speculative:
+            spec_live = self._spec_live.get(task_id)
+            if spec_live is None:
+                self._spec_live[task_id] = [copy]
+            else:
+                spec_live.append(copy)
         self.attempt_counts[task_id] = self.attempt_counts.get(task_id, 0) + 1
         start = copy.start_time
         if start != self._pending_time:
@@ -124,6 +145,17 @@ class JobExecutionView:
             self.num_speculating_tasks -= 1
         elif not live:
             del self.copies_by_task[task_id]
+            del self._task_seq[task_id]
+        if copy.speculative:
+            spec_live = self._spec_live.get(task_id)
+            if spec_live is not None:
+                try:
+                    spec_live.remove(copy)
+                except ValueError:
+                    pass
+                else:
+                    if not spec_live:
+                        del self._spec_live[task_id]
         rate = 1.0 / copy.duration
         if copy.start_time == self._pending_time:
             try:
@@ -145,6 +177,30 @@ class JobExecutionView:
 
     def copies_of(self, task: Task) -> List[TaskCopy]:
         return list(self.copies_by_task.get(task.task_id, ()))
+
+    def num_live_copies(self, task: Task) -> int:
+        """Live copies of ``task`` without materializing a list."""
+        return len(self.copies_by_task.get(task.task_id, ()))
+
+    def live_speculative_copies(self) -> List[TaskCopy]:
+        """Live speculative copies of racing tasks, in the exact order a
+        full ``copies_by_task`` walk would yield them.
+
+        Equivalent to ``[c for copies in self.copies_by_task.values()
+        for c in copies if c.speculative and len(copies) > 1]`` but
+        proportional to the number of live speculative copies instead of
+        all live copies (the equivalence is pinned by a property test).
+        """
+        spec_live = self._spec_live
+        if not spec_live:
+            return []
+        task_seq = self._task_seq
+        copies_by_task = self.copies_by_task
+        victims: List[TaskCopy] = []
+        for task_id in sorted(spec_live, key=task_seq.__getitem__):
+            if len(copies_by_task.get(task_id, ())) > 1:
+                victims.extend(spec_live[task_id])
+        return victims
 
     def running_unfinished_tasks(self) -> List[Task]:
         """Tasks that are unfinished but have at least one running copy."""

@@ -162,7 +162,16 @@ FACEBOOK_PROFILE = WorkloadProfile(
         bin_weights=(0.60, 0.20, 0.14, 0.06), max_tasks=1500
     ),
     dag_length=DiscreteDistribution(
-        [(1, 0.30), (2, 0.30), (3, 0.15), (4, 0.10), (5, 0.06), (6, 0.04), (7, 0.03), (8, 0.02)]
+        [
+            (1, 0.30),
+            (2, 0.30),
+            (3, 0.15),
+            (4, 0.10),
+            (5, 0.06),
+            (6, 0.04),
+            (7, 0.03),
+            (8, 0.02),
+        ]
     ),
 )
 
@@ -199,7 +208,16 @@ BING_PROFILE = WorkloadProfile(
         bin_weights=(0.68, 0.14, 0.10, 0.08), max_tasks=4000
     ),
     dag_length=DiscreteDistribution(
-        [(1, 0.20), (2, 0.25), (3, 0.18), (4, 0.12), (5, 0.10), (6, 0.07), (7, 0.05), (8, 0.03)]
+        [
+            (1, 0.20),
+            (2, 0.25),
+            (3, 0.18),
+            (4, 0.12),
+            (5, 0.10),
+            (6, 0.07),
+            (7, 0.05),
+            (8, 0.03),
+        ]
     ),
 )
 

@@ -30,7 +30,8 @@ def _simulate(
     machines=None,
 ):
     cluster = Cluster(
-        num_machines=machines or slots, slots_per_machine=slots // (machines or slots) or 1
+        num_machines=machines or slots,
+        slots_per_machine=slots // (machines or slots) or 1,
     )
     sim = CentralizedSimulator(
         cluster=Cluster(num_machines=slots, slots_per_machine=1)

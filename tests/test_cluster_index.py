@@ -1,0 +1,186 @@
+"""Property-style invariant tests for the incremental ClusterIndex.
+
+The index is only admissible if, after *any* sequence of slot
+acquire/release/blacklist operations, its contents equal what a
+from-scratch scan of the machine list reports — the same check the old
+O(machines) code performed on every query.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.index import ClusterIndex
+from repro.cluster.machine import Machine
+
+
+def _assert_index_matches_scan(cluster: Cluster) -> None:
+    """The single source of truth: index contents == from-scratch scan."""
+    scan_free = [m.machine_id for m in cluster.machines_with_free_slots()]
+    index = cluster.index
+    assert index.free_machine_ids() == scan_free
+    assert index.free_machine_count == len(scan_free)
+    for k, machine_id in enumerate(scan_free):
+        assert index.nth_free_machine(k) == machine_id
+    assert index.first_free_machine() == (scan_free[0] if scan_free else None)
+    assert cluster.total_slots == sum(
+        m.num_slots for m in cluster.machines if not m.blacklisted
+    )
+    assert cluster.free_slots == cluster.total_slots - cluster.busy_slots
+
+
+def test_fresh_cluster_index_matches_scan():
+    cluster = Cluster(num_machines=17, slots_per_machine=3)
+    _assert_index_matches_scan(cluster)
+
+
+def test_index_tracks_acquire_release():
+    cluster = Cluster(num_machines=5, slots_per_machine=2)
+    cluster.acquire_slot(2)
+    _assert_index_matches_scan(cluster)
+    cluster.acquire_slot(2)  # machine 2 now full -> leaves the index
+    _assert_index_matches_scan(cluster)
+    assert 2 not in cluster.index.free_machine_ids()
+    cluster.release_slot(2)  # regains a slot -> re-enters the index
+    _assert_index_matches_scan(cluster)
+    assert 2 in cluster.index.free_machine_ids()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_randomized_launch_kill_finish_sequences(seed):
+    """Random acquire ("launch") / release ("kill"/"finish") sequences
+    keep the index equal to the from-scratch scan at every step."""
+    rng = random.Random(seed)
+    num_machines = rng.randint(1, 40)
+    cluster = Cluster(
+        num_machines=num_machines, slots_per_machine=rng.randint(1, 3)
+    )
+    busy = []  # machine ids with at least one slot we acquired
+    for step in range(300):
+        can_acquire = cluster.free_slots > 0
+        if busy and (not can_acquire or rng.random() < 0.45):
+            machine_id = busy.pop(rng.randrange(len(busy)))
+            cluster.release_slot(machine_id)
+        elif can_acquire:
+            free_ids = cluster.index.free_machine_ids()
+            machine_id = rng.choice(free_ids)
+            cluster.acquire_slot(machine_id)
+            busy.append(machine_id)
+        if step % 7 == 0:
+            _assert_index_matches_scan(cluster)
+    _assert_index_matches_scan(cluster)
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_randomized_sequences_with_blacklisting(seed):
+    rng = random.Random(seed)
+    cluster = Cluster(num_machines=20, slots_per_machine=2)
+    for _ in range(50):
+        if rng.random() < 0.3:
+            victim = rng.randrange(20)
+            if rng.random() < 0.5:
+                cluster.blacklist.add(victim)
+            else:
+                cluster.blacklist.remove(victim)
+            # Blacklisting a machine with busy slots would strand them;
+            # apply on an idle cluster like the simulators do.
+            if cluster.busy_slots == 0:
+                cluster.apply_blacklist()
+        else:
+            free_ids = cluster.index.free_machine_ids()
+            if free_ids and cluster.busy_slots == 0:
+                machine_id = rng.choice(free_ids)
+                cluster.acquire_slot(machine_id)
+                cluster.release_slot(machine_id)
+        _assert_index_matches_scan(cluster)
+
+
+def test_index_survives_cluster_reset():
+    cluster = Cluster(num_machines=4, slots_per_machine=1)
+    for machine_id in range(4):
+        cluster.acquire_slot(machine_id)
+    assert cluster.index.free_machine_count == 0
+    cluster.reset()
+    _assert_index_matches_scan(cluster)
+    assert cluster.index.free_machine_count == 4
+
+
+def test_index_after_simulation_run_matches_scan():
+    """End-to-end: after a full centralized replay (launch / kill /
+    finish traffic) the index equals the scan and the cluster is idle."""
+    from repro.centralized.config import CentralizedConfig
+    from repro.centralized.simulator import CentralizedSimulator
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import LATE
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+    from repro.workload.generator import SPARK_FACEBOOK_PROFILE, TraceGenerator
+    from repro.workload.traces import Trace
+    from repro.registry import CENTRALIZED_SYSTEMS
+
+    gen = TraceGenerator(
+        SPARK_FACEBOOK_PROFILE,
+        random_source=RandomSource(seed=5),
+        max_phase_tasks=40,
+    )
+    trace = Trace(jobs=gen.generate(12, interarrival_mean=1.0))
+    cluster = Cluster(num_machines=15, slots_per_machine=2)
+    simulator = CentralizedSimulator(
+        cluster=cluster,
+        policy=CENTRALIZED_SYSTEMS.get("hopper").factory(epsilon=0.1),
+        speculation=lambda: LATE(),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoRedrawStragglerModel(beta=1.4),
+        config=CentralizedConfig(),
+        random_source=RandomSource(seed=6),
+    )
+    simulator.run()
+    _assert_index_matches_scan(cluster)
+    assert cluster.busy_slots == 0
+
+
+def test_nth_free_machine_bounds():
+    index = ClusterIndex([Machine(machine_id=i) for i in range(3)])
+    assert index.nth_free_machine(0) == 0
+    assert index.nth_free_machine(2) == 2
+    with pytest.raises(IndexError):
+        index.nth_free_machine(3)
+    with pytest.raises(IndexError):
+        index.nth_free_machine(-1)
+
+
+def test_nth_free_matches_selection_on_sparse_patterns():
+    rng = random.Random(99)
+    for _ in range(30):
+        n = rng.randint(1, 64)
+        machines = [
+            Machine(machine_id=i, num_slots=1, rack=0) for i in range(n)
+        ]
+        for m in machines:
+            if rng.random() < 0.5:
+                m.busy_slots = 1
+        index = ClusterIndex(machines)
+        free_ids = [m.machine_id for m in machines if m.has_free_slot]
+        assert index.free_machine_count == len(free_ids)
+        assert index.free_machine_ids() == free_ids
+        for k, expected in enumerate(free_ids):
+            assert index.nth_free_machine(k) == expected
+
+
+def test_randrange_selection_equals_choice_on_scan():
+    """The bit-identity cornerstone: rng.randrange(count) + nth_free
+    consumes the same entropy and picks the same machine as
+    rng.choice(scan) did on the scan-based simulator."""
+    cluster = Cluster(num_machines=50, slots_per_machine=1)
+    for machine_id in range(0, 50, 3):
+        cluster.acquire_slot(machine_id)
+
+    rng_a = random.Random(7)
+    rng_b = random.Random(7)
+    for _ in range(200):
+        via_choice = rng_a.choice(cluster.machines_with_free_slots())
+        via_index = cluster.index.nth_free_machine(
+            rng_b.randrange(cluster.index.free_machine_count)
+        )
+        assert via_choice.machine_id == via_index
+        assert rng_a.getstate() == rng_b.getstate()

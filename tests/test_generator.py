@@ -4,9 +4,7 @@ import pytest
 
 from repro.simulation.rng import RandomSource
 from repro.workload.generator import (
-    BING_PROFILE,
     FACEBOOK_PROFILE,
-    JOB_SIZE_BINS,
     SPARK_FACEBOOK_PROFILE,
     BinnedJobSizeDistribution,
     TraceGenerator,

@@ -45,9 +45,16 @@ GOLDEN_STUDY_DIGESTS = {
     "fig12": "cd388659c299693d4262425bb77ed0f91a5594b721b16c1b98c36126ced5c067",
     "fig13": "11e2da345712de2b4e129baea8b1dfde5bfd9f66a3bedbd1d921e41dfaccaaf8",
     "headline": "20cf6ac1b300cecd0db1d3d428abf97bf4126a8525af6787b0897b883b9c6f3b",
-    # Born in this PR: pinned at its first output (not a seed-engine
+    # Born in PR 3: pinned at its first output (not a seed-engine
     # digest — there was no scale study to run on the seed engine).
+    # Its quick grid predates the centralized axis and is unchanged by
+    # it, so this digest also proves the shared-runtime rebuild of the
+    # simulators is bit-identical.
     "scale": "e463242662203ec805f73087544335415cee37234cea640c4a7305763f4dbc2a",
+    # Born in PR 4 (blacklist study): pinned at its first output.
+    "blacklist": (
+        "026309fa30580c22d0345d4b9a6236487cbda3d7f3521610c8112fb2c8418456"
+    ),
 }
 
 
@@ -93,6 +100,77 @@ def test_scale_cell_spec_digest_is_pinned():
     )
     assert spec.digest() == (
         "b9e48e2eaf4764e6d62142d1f22d382d54db27b3a500db462fbc995f9d176f94"
+    )
+
+
+def test_scale_centralized_cell_spec_digest_is_pinned():
+    """The centralized scale axis (born with the shared-runtime rebuild)
+    is cache-addressed from day one; pin its 10k-slot cell."""
+    spec = RunSpec(
+        "centralized",
+        "hopper",
+        WorkloadParams(
+            profile="spark-facebook",
+            num_jobs=150,
+            utilization=0.6,
+            total_slots=10000,
+        ),
+    )
+    assert spec.digest() == (
+        "1d6946244bb6cf1f96c9ab92ab492a9ac254d6a78323882e6e59e56640b3f5e7"
+    )
+
+
+#: study name -> sha256 over the sorted RunSpec content digests of the
+#: study's *centralized* quick-grid cells at its first seed. These are
+#: the on-disk cache keys of every centralized study cell: the rebuild
+#: of the centralized simulator on the shared runtime core must not
+#: shift any of them (results are covered by the study digests above).
+GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS = {
+    "blacklist": "a5379f2aedfb33f6645c4bf1a1b479b96860a833b17de2a58a45a9d9a6858d5a",
+    "fig12": "450224f405c8d86ac81a06d1f366f395e11885ab58bfa7908669ba7f52971d27",
+    "fig13": "45153b1fe23ce85bcf404a63343ee9d4a4fd1c44ab8dc1a322f82893d759f4e2",
+    "fig5": "397af2530efd1bb7e3e1e78267bb8cff72611deae05f7e495f6be7edef719540",
+    "fig5a": "8cad4f6088eabe395d25c1cb373c9ced3a1f8d40226897b0431640ab9c1e5a86",
+    "fig5b": "8cad4f6088eabe395d25c1cb373c9ced3a1f8d40226897b0431640ab9c1e5a86",
+    "headline": "92b09f9bea7139bbef8524e7f67d94e75e3084f34949549dfe1c9e7546b3d1b2",
+}
+
+
+def _centralized_cell_spec_digest(name: str) -> str:
+    study = registry.studies().get(name).factory
+    digests = sorted(
+        spec.digest()
+        for c in study.cells(quick=True)
+        for spec in (c.make_spec(study.seeds[0]),)
+        if spec.kind == "centralized"
+    )
+    payload = json.dumps(digests)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_every_study_with_centralized_cells_is_pinned():
+    """A study that gains (or loses) centralized cells must update the
+    pin table — centralized cells are cache keys like any other."""
+    with_centralized = {
+        name
+        for name in registry.studies().names()
+        for study in (registry.STUDIES.get(name).factory,)
+        if any(
+            c.make_spec(study.seeds[0]).kind == "centralized"
+            for c in study.cells(quick=True)
+        )
+    }
+    assert with_centralized == set(GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS)
+)
+def test_centralized_cell_spec_digests_match(name):
+    assert (
+        _centralized_cell_spec_digest(name)
+        == GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS[name]
     )
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.metrics.analysis import (
-    bin_durations,
     gain_cdf,
     mean_duration,
     mean_reduction_percent,

@@ -429,3 +429,32 @@ def test_check_regression_fails_past_threshold(tmp_path, capsys):
     )
     assert rc == 1
     assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_check_regression_fails_when_baseline_rows_go_missing(
+    tmp_path, capsys
+):
+    """Losing a baseline grid point (e.g. an axis dropped from the CI
+    bench invocation) must fail the gate, not silently shrink it."""
+    mod = _load_check_regression()
+    baseline = tmp_path / "base.json"
+    current = tmp_path / "cur.json"
+    base_doc = _bench_doc({1000: 100000.0, 5000: 90000.0})
+    base_doc["rows"][1]["system"] = "centralized"
+    base_doc["per_system"] = {
+        "decentralized": {"events_per_sec": 100000.0},
+        "centralized": {"events_per_sec": 90000.0},
+    }
+    cur_doc = _bench_doc({1000: 95000.0})
+    cur_doc["per_system"] = {
+        "decentralized": {"events_per_sec": 95000.0},
+    }
+    baseline.write_text(json.dumps(base_doc))
+    current.write_text(json.dumps(cur_doc))
+    rc = mod.main(
+        ["--baseline", str(baseline), "--current", str(current)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "MISSING from current run" in out
+    assert "centralized aggregate" in out

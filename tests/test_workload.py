@@ -165,7 +165,8 @@ def test_runnable_tasks_excludes_gated_phase():
     assert len(job.runnable_tasks()) == 4
     for _ in range(2):
         job.phase(0).mark_task_finished(1.0)
-    assert len(job.runnable_tasks()) == 6  # 2 left upstream + 2 downstream... all unfinished
+    # 2 left upstream + 2 downstream... all unfinished
+    assert len(job.runnable_tasks()) == 6
 
 
 def test_job_completion_flags():
