@@ -26,6 +26,15 @@ Scale-out notes (10k+-slot clusters):
   :meth:`~repro.simulation.engine.Simulator.schedule_many`;
 * the speculation-preemption sweep enumerates victims from the view's
   live-speculative index instead of walking every live copy.
+
+Blacklisting (§2.2): an optional
+:class:`~repro.cluster.policy.BlacklistPolicy` observes every copy
+completion; when it evicts a machine the simulator kills the machine's
+running copies through the ledger, requeues originals whose last copy
+died, and applies the blacklist to the cluster (which rebuilds the
+free-slot index). With no policy (the default) the whole path is a
+single ``is not None`` check per completion — replays are bit-identical
+to the policy-free simulator.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.centralized.config import CentralizedConfig, SpeculationMode
 from repro.centralized.policies import CentralizedPolicy
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
+from repro.cluster.policy import BlacklistPolicy, evaluate_completion
 from repro.core.allocation import JobAllocationState
 from repro.core.locality import pick_job_with_locality
 from repro.core.virtual_size import virtual_size
@@ -114,6 +124,7 @@ class CentralizedSimulator:
         "_running_spec_copies",
         "_running_original_copies",
         "_spec_eval_min_interval",
+        "_blacklist_policy",
     )
 
     def __init__(
@@ -126,6 +137,7 @@ class CentralizedSimulator:
         config: Optional[CentralizedConfig] = None,
         datastore: Optional[DataStore] = None,
         random_source: Optional[RandomSource] = None,
+        blacklist_policy: Optional[BlacklistPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
@@ -160,6 +172,7 @@ class CentralizedSimulator:
         self._running_spec_copies = 0
         self._running_original_copies = 0
         self._spec_eval_min_interval = self.config.spec_eval_min_interval
+        self._blacklist_policy = blacklist_policy
 
     # ------------------------------------------------------------------ run --
 
@@ -325,12 +338,68 @@ class CentralizedSimulator:
             jr.activate_runnable_phases()
             if jr.job.is_complete:
                 self._complete_job(jr)
+        if self._blacklist_policy is not None:
+            self._observe_blacklist(copy, jr)
         self._reschedule()
 
     def _complete_job(self, jr: _JobRuntime) -> None:
         self.ledger.record_job_completion(jr.job, self.alpha_estimator)
         del self._jobs[jr.job.job_id]
         self._jobs_completed += 1
+
+    # ---------------------------------------------------------- blacklist ----
+
+    def _observe_blacklist(self, copy: TaskCopy, jr: _JobRuntime) -> None:
+        """Feed one completion to the eviction policy and act on it."""
+        reinstated, evict = evaluate_completion(
+            self._blacklist_policy, self.sim.now, copy, jr.view
+        )
+        for machine_id in reinstated:
+            self._reinstate_machine(machine_id)
+        if evict is not None:
+            self._evict_machine(evict)
+
+    def _evict_machine(self, machine_id: int) -> None:
+        """Blacklist ``machine_id`` mid-run: kill its running copies,
+        requeue originals whose last copy died, and rebuild the index."""
+        cluster = self.cluster
+        cluster.blacklist.add(machine_id)
+        victims: List[tuple] = []
+        for jr in self._jobs.values():
+            for copies in jr.view.copies_by_task.values():
+                for c in copies:
+                    if c.machine_id == machine_id:
+                        victims.append((c, jr))
+        orphaned: List[tuple] = []
+        for c, jr in victims:
+            self._kill_copy(c, jr)
+            if not c.task.is_finished:
+                orphaned.append((c.task, jr))
+        for task, jr in orphaned:
+            # Only requeue when no sibling copy survived the eviction —
+            # a live copy elsewhere still carries the task.
+            if jr.view.num_live_copies(task) == 0 and jr.requeue(task):
+                task.state = TaskState.PENDING
+        cluster.apply_blacklist()  # machine flags + totals + index rebuild
+        self._resize_slot_pool()
+
+    def _reinstate_machine(self, machine_id: int) -> None:
+        """Probation served: return the machine's slots to the pool."""
+        cluster = self.cluster
+        cluster.blacklist.remove(machine_id)
+        cluster.apply_blacklist()
+        self._resize_slot_pool()
+
+    def _resize_slot_pool(self) -> None:
+        """Eviction/reinstatement changed the usable slot count; refresh
+        the cached total AND the budgeted-speculation reservation, which
+        is a fraction of it (a stale budget could otherwise exceed the
+        shrunken cluster and starve original dispatch)."""
+        self._total_slots = self.cluster.total_slots
+        if self.config.speculation_mode is SpeculationMode.BUDGETED:
+            self._spec_budget = int(
+                self.config.budget_fraction * self._total_slots
+            )
 
     # ----------------------------------------------------------- dispatch ----
 

@@ -373,6 +373,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "Speculation policies", registry.SPECULATION_POLICIES.entries()
     )
     _print_entries("Straggler models", registry.STRAGGLER_MODELS.entries())
+    _print_entries(
+        "Blacklist policies (mid-run machine eviction)",
+        registry.BLACKLIST_POLICIES.entries(),
+    )
     _print_entries("Workload profiles", registry.WORKLOAD_PROFILES.entries())
     print(
         "\nAll figures and studies accept --quick (CI smoke scale), "

@@ -5,5 +5,14 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
 from repro.cluster.blacklist import Blacklist
 from repro.cluster.index import ClusterIndex
+from repro.cluster.policy import BlacklistPolicy, StrikeBlacklistPolicy
 
-__all__ = ["Machine", "Cluster", "DataStore", "Blacklist", "ClusterIndex"]
+__all__ = [
+    "Machine",
+    "Cluster",
+    "DataStore",
+    "Blacklist",
+    "ClusterIndex",
+    "BlacklistPolicy",
+    "StrikeBlacklistPolicy",
+]

@@ -293,6 +293,18 @@ class SchedulerAgent:
             self._send_probes(sj, len(fresh))
         self._refresh_gossip(sj)
 
+    def requeue_task(self, sj: SchedulerJob, task: Task) -> None:
+        """A worker eviction killed the task's last running copy: put it
+        back in the pending queue and probe for a fresh slot."""
+        if sj.requeue(task):
+            self._refresh_gossip(sj)
+            self._send_probes(sj, 1)
+
+    def on_cluster_resize(self, total_slots: int) -> None:
+        """Eviction/reinstatement changed the usable slot count; refresh
+        the snapshotted ε-fair numerator (see ``_fair_share``)."""
+        self._fair_numerator = (1.0 - self.sim.config.epsilon) * total_slots
+
     def complete_job(self, sj: SchedulerJob) -> None:
         sj.gossip.active = False
         del self.jobs[sj.job.job_id]

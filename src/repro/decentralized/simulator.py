@@ -20,12 +20,25 @@ Scale-out notes (10k+-slot clusters):
   (``job -> {worker: count}``), so job completion purges exactly the
   workers that hold requests instead of leaving tombstones for every
   worker to lazily scan past.
+
+Blacklisting (§2.2): an optional
+:class:`~repro.cluster.policy.BlacklistPolicy` observes copy
+completions; eviction removes the worker from the probe sample pool,
+drops its queued requests, kills its running copies through the ledger
+(requeueing originals whose last copy died, with a fresh probe each),
+and records the decision in a mirror :class:`~repro.cluster.cluster.
+Cluster` whose ``apply_blacklist`` call rebuilds the shared
+:class:`~repro.cluster.index.ClusterIndex` — the same substrate the
+centralized plane uses. With no policy (the default) the probe/launch
+path is untouched and replays are bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cluster.cluster import Cluster
+from repro.cluster.policy import BlacklistPolicy, evaluate_completion
 from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.scheduler import SchedulerAgent, SchedulerJob
 from repro.decentralized.worker import Worker
@@ -70,6 +83,7 @@ class DecentralizedSimulator:
         slots_per_worker: int = 1,
         random_source: Optional[RandomSource] = None,
         name: Optional[str] = None,
+        blacklist_policy: Optional[BlacklistPolicy] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -115,6 +129,18 @@ class DecentralizedSimulator:
         self._open_batch_time = 0.0
         self._open_batch_seq = -1
         self._metrics_result = self.metrics.result
+        # Blacklisting: with no policy the sample pool IS the worker
+        # list (same object — identical entropy consumption) and no
+        # mirror cluster exists; the hot paths pay one None check.
+        self.blacklist_policy = blacklist_policy
+        self._slots_per_worker = slots_per_worker
+        self._sample_pool: List[Worker] = self.workers
+        self.cluster: Optional[Cluster] = None
+        if blacklist_policy is not None:
+            self.cluster = Cluster(
+                num_machines=num_workers,
+                slots_per_machine=slots_per_worker,
+            )
 
     # -- plumbing ----------------------------------------------------------
 
@@ -160,10 +186,13 @@ class DecentralizedSimulator:
             fn(*args)
 
     def sample_workers(self, count: int) -> List[Worker]:
-        """Uniformly sample ``count`` distinct workers (all, if fewer)."""
-        if count >= len(self.workers):
-            return list(self.workers)
-        return self.rng.sample(self.workers, count)
+        """Uniformly sample ``count`` distinct non-evicted workers (all,
+        if fewer). Without a blacklist policy the pool is the full
+        worker list — the same object, so entropy use is unchanged."""
+        pool = self._sample_pool
+        if count >= len(pool):
+            return list(pool)
+        return self.rng.sample(pool, count)
 
     def gossip_for(self, job_id: int):
         """Latest gossip for a job, or None if it completed."""
@@ -255,6 +284,18 @@ class DecentralizedSimulator:
         """Bind an accepted task to the worker's slot and run it."""
         scheduler = self._owner.get(task.job_id)
         sj = scheduler.jobs.get(task.job_id) if scheduler else None
+        if worker.evicted:
+            # The accept raced the eviction: decline the bind, release
+            # the eager occupancy reservation, and requeue a task that
+            # has no live copy left to carry it.
+            if sj is not None:
+                scheduler.on_copy_gone(sj)
+                if (
+                    not task.is_finished
+                    and sj.view.num_live_copies(task) == 0
+                ):
+                    scheduler.requeue_task(sj, task)
+            return
         if sj is None or task.is_finished:
             # Raced with completion between accept and arrival; release the
             # eager occupancy reservation made at accept time.
@@ -301,6 +342,8 @@ class DecentralizedSimulator:
                 self._kill_copy(sibling, scheduler, sj)
             if sj.job.is_complete:
                 self._complete_job(scheduler, sj)
+        if self.blacklist_policy is not None:
+            self._observe_blacklist(copy, sj)
 
     def _kill_copy(
         self,
@@ -321,3 +364,61 @@ class DecentralizedSimulator:
         self._purge_job_requests(job.job_id)
         self._owner.pop(job.job_id, None)
         self._active_jobs -= 1
+
+    # -- blacklisting (probe/launch path) ------------------------------------
+
+    def _observe_blacklist(self, copy: TaskCopy, sj: SchedulerJob) -> None:
+        """Feed one completion to the eviction policy and act on it."""
+        reinstated, evict = evaluate_completion(
+            self.blacklist_policy, self.sim.now, copy, sj.view
+        )
+        for worker_id in reinstated:
+            self._reinstate_worker(worker_id)
+        if evict is not None:
+            self._evict_worker(evict)
+
+    def _evict_worker(self, worker_id: int) -> None:
+        """Blacklist a worker mid-run: drop it from the probe pool, kill
+        its running copies, and requeue tasks whose last copy died."""
+        worker = self.workers[worker_id]
+        victims = worker.evict()
+        # Blacklist + pool refresh BEFORE requeueing, so the replacement
+        # probes sent below can never target the worker being evicted.
+        self.cluster.blacklist.add(worker_id)
+        self._apply_blacklist()
+        orphaned: List[Tuple[SchedulerAgent, SchedulerJob, Task]] = []
+        for copy in victims:
+            scheduler = self._owner.get(copy.task.job_id)
+            sj = scheduler.jobs.get(copy.task.job_id) if scheduler else None
+            if sj is None:
+                continue
+            self._kill_copy(copy, scheduler, sj)
+            if not copy.task.is_finished:
+                orphaned.append((scheduler, sj, copy.task))
+        for scheduler, sj, task in orphaned:
+            # A task whose ONLY live copy died here is requeued even if
+            # that copy was speculative — e.g. its original fell to an
+            # earlier eviction while the speculative sibling carried it.
+            if sj.view.num_live_copies(task) == 0:
+                scheduler.requeue_task(sj, task)
+
+    def _reinstate_worker(self, worker_id: int) -> None:
+        """Probation served: the worker rejoins the probe pool."""
+        self.workers[worker_id].reinstate()
+        self.cluster.blacklist.remove(worker_id)
+        self._apply_blacklist()
+
+    def _apply_blacklist(self) -> None:
+        """Propagate the blacklist through the shared cluster substrate
+        (machine flags + index rebuild), refresh the probe sample pool,
+        and resize the schedulers' ε-fair floors."""
+        cluster = self.cluster
+        cluster.apply_blacklist()
+        workers = self.workers
+        self._sample_pool = [
+            workers[machine_id]
+            for machine_id in cluster.index.free_machine_ids()
+        ]
+        total = len(self._sample_pool) * self._slots_per_worker
+        for scheduler in self.schedulers:
+            scheduler.on_cluster_resize(total)

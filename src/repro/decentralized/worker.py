@@ -58,6 +58,7 @@ class Worker:
         "busy_slots",
         "pending_episodes",
         "running",
+        "evicted",
         "_policy",
         "_refusal_threshold",
     )
@@ -75,6 +76,7 @@ class Worker:
         self.busy_slots = 0
         self.pending_episodes = 0  # episodes awaiting a scheduler reply
         self.running: List[TaskCopy] = []
+        self.evicted = False  # blacklisted mid-run; no queueing/episodes
         # Config is immutable after simulator construction; snapshot the
         # per-episode-step scalars.
         self._policy = sim.config.worker_policy
@@ -110,10 +112,31 @@ class Worker:
             return
         self.sim.note_requests_removed(request.job_id, self.worker_id)
 
+    def evict(self) -> List[TaskCopy]:
+        """Blacklist this worker mid-run (the §2.2 eviction path).
+
+        Stops future episodes, drops every queued reservation request
+        (keeping the per-job request index consistent), and returns the
+        running copies for the simulator to kill and reschedule. An
+        in-flight slot offer may still come back as an accept; the
+        simulator declines it at bind time (see ``start_copy``).
+        """
+        self.evicted = True
+        for request in self.queue:
+            self.sim.note_requests_removed(request.job_id, self.worker_id)
+        self.queue.clear()
+        return list(self.running)
+
+    def reinstate(self) -> None:
+        """Probation served: the worker may queue requests again."""
+        self.evicted = False
+
     # -- protocol ----------------------------------------------------------
 
     def on_request(self, request: Request) -> None:
         """A reservation request arrives (after network delay)."""
+        if self.evicted:
+            return  # raced the eviction; the probe is simply lost
         if request.gossip.active:
             self.queue.append(request)
             self.sim.note_request_queued(request.job_id, self.worker_id)
@@ -123,6 +146,8 @@ class Worker:
         self.maybe_start_episode()
 
     def maybe_start_episode(self) -> None:
+        if self.evicted:
+            return
         if self.num_slots - self.busy_slots - self.pending_episodes <= 0:
             return
         if not self.queue:

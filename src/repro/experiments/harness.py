@@ -17,6 +17,7 @@ from repro.centralized.policies import CentralizedPolicy
 from repro.centralized.simulator import CentralizedSimulator
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
+from repro.cluster.policy import BlacklistPolicy
 from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.simulator import DecentralizedSimulator
 from repro.metrics.collector import SimulationResult
@@ -112,6 +113,35 @@ def _resolve_straggler_model(
     return straggler_model
 
 
+def _resolve_blacklist_policy(
+    blacklist_policy: Union[BlacklistPolicy, str, None],
+    num_machines: int,
+    strike_threshold: Optional[int] = None,
+    strike_window: Optional[float] = None,
+    eviction_cap: Optional[float] = None,
+) -> Optional[BlacklistPolicy]:
+    """Accept a policy instance, a registry name, or None/"none" (off).
+
+    The strike knobs only apply when the policy is built by name here;
+    omitted knobs keep the policy's own defaults. ``num_machines`` is
+    the run's cluster size (bounds the eviction cap).
+    """
+    if blacklist_policy is None:
+        return None
+    if isinstance(blacklist_policy, str):
+        kwargs = {}
+        if strike_threshold is not None:
+            kwargs["strike_threshold"] = strike_threshold
+        if strike_window is not None:
+            kwargs["strike_window"] = strike_window
+        if eviction_cap is not None:
+            kwargs["eviction_cap"] = eviction_cap
+        return registry.make_blacklist_policy(
+            blacklist_policy, num_machines=num_machines, **kwargs
+        )
+    return blacklist_policy
+
+
 def run_centralized(
     trace: Trace,
     policy: str,
@@ -125,14 +155,21 @@ def run_centralized(
     slots_per_machine: int = 4,
     run_seed: int = 7,
     config: Optional[CentralizedConfig] = None,
+    blacklist_policy: Union[BlacklistPolicy, str, None] = None,
+    strike_threshold: Optional[int] = None,
+    strike_window: Optional[float] = None,
+    eviction_cap: Optional[float] = None,
 ) -> SimulationResult:
     """Replay ``trace`` under one centralized policy.
 
     The trace is deep-copied first, so the same object can be replayed
     under several systems. ``policy`` and (string-valued)
-    ``straggler_model`` resolve through :mod:`repro.registry`; each
-    centralized system's registry entry carries its default speculation
-    mode (BEST_EFFORT for the baselines, INTEGRATED for Hopper).
+    ``straggler_model`` / ``blacklist_policy`` resolve through
+    :mod:`repro.registry`; each centralized system's registry entry
+    carries its default speculation mode (BEST_EFFORT for the
+    baselines, INTEGRATED for Hopper). With a blacklist policy the
+    simulator evicts struck machines mid-run (see
+    :mod:`repro.cluster.policy`).
     """
     policy_obj, default_mode = _centralized_system(policy, epsilon)
     if speculation_mode is None:
@@ -165,6 +202,13 @@ def run_centralized(
         config=config,
         datastore=datastore,
         random_source=RandomSource(seed=run_seed),
+        blacklist_policy=_resolve_blacklist_policy(
+            blacklist_policy,
+            num_machines,
+            strike_threshold=strike_threshold,
+            strike_window=strike_window,
+            eviction_cap=eviction_cap,
+        ),
     )
     return simulator.run()
 
@@ -182,13 +226,19 @@ def run_decentralized(
     run_seed: int = 7,
     config: Optional[DecentralizedConfig] = None,
     until: Optional[float] = None,
+    blacklist_policy: Union[BlacklistPolicy, str, None] = None,
+    strike_threshold: Optional[int] = None,
+    strike_window: Optional[float] = None,
+    eviction_cap: Optional[float] = None,
 ) -> SimulationResult:
     """Replay ``trace`` under one decentralized system.
 
     ``system`` names an entry of
     :data:`repro.registry.DECENTRALIZED_SYSTEMS`; each entry carries the
     paper's default probe ratio (2 for the baselines, 4 for Hopper) and
-    fairness setting, overridable per experiment.
+    fairness setting, overridable per experiment. With a blacklist
+    policy the simulator evicts struck workers from the probe pool
+    mid-run (see :mod:`repro.cluster.policy`).
     """
     defaults = registry.DECENTRALIZED_SYSTEMS.get(system).factory()
     if config is None:
@@ -212,5 +262,12 @@ def run_decentralized(
         config=config,
         random_source=RandomSource(seed=run_seed),
         name=system,
+        blacklist_policy=_resolve_blacklist_policy(
+            blacklist_policy,
+            spec.total_slots,
+            strike_threshold=strike_threshold,
+            strike_window=strike_window,
+            eviction_cap=eviction_cap,
+        ),
     )
     return simulator.run(until=until)

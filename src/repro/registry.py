@@ -38,6 +38,9 @@ Registries
     Straggler-mitigation algorithms (LATE, Mantri, GRASS, none).
 ``STRAGGLER_MODELS``
     Generative straggler models, resolvable by name from a spec knob.
+``BLACKLIST_POLICIES``
+    Mid-run machine-eviction policies (see :mod:`repro.cluster.policy`),
+    resolvable by name from the ``blacklist_policy`` spec knob.
 ``WORKLOAD_PROFILES``
     Synthetic trace profiles (Facebook / Bing and their Spark variants).
 ``STUDIES``
@@ -118,6 +121,13 @@ class Knob:
         One line for ``repro list``.
     validator:
         Optional predicate on the value; ``False``/raising means invalid.
+    choices:
+        Optional callable returning the valid names for this knob
+        (typically a registry's bound ``names`` method, so late
+        registrations count). A value outside the choices raises a
+        :class:`KnobError` that *lists* the registered names — a bare
+        "rejected value" echo is useless when the fix is picking one of
+        a family's members.
     """
 
     name: str
@@ -125,6 +135,7 @@ class Knob:
     default: Any = None
     description: str = ""
     validator: Optional[Callable[[Any], bool]] = None
+    choices: Optional[Callable[[], Sequence[str]]] = None
 
     def validate(self, value: Any) -> None:
         """Raise :class:`KnobError` unless ``value`` fits this knob."""
@@ -134,6 +145,14 @@ class Knob:
                 f"knob {self.name!r} must be {_type_label(self.type)}, "
                 f"got {value!r} ({type(value).__name__})"
             )
+        if self.choices is not None:
+            valid = tuple(self.choices())
+            if value not in valid:
+                raise KnobError(
+                    f"knob {self.name!r} got unknown name {value!r}; "
+                    f"registered names: "
+                    f"{', '.join(sorted(valid)) or '(none)'}"
+                )
         if self.validator is not None and not self.validator(value):
             raise KnobError(
                 f"knob {self.name!r} rejected value {value!r}"
@@ -259,6 +278,7 @@ DECENTRALIZED_SYSTEMS = Registry("decentralized system")
 SINGLE_JOB_SYSTEMS = Registry("single_job system")
 SPECULATION_POLICIES = Registry("speculation policy")
 STRAGGLER_MODELS = Registry("straggler model")
+BLACKLIST_POLICIES = Registry("blacklist policy")
 WORKLOAD_PROFILES = Registry("workload profile")
 STUDIES = Registry("study")
 
@@ -271,6 +291,7 @@ def spec_kind(name: str) -> SpecKind:
 def studies() -> Registry:
     """The study registry, with the built-in studies loaded."""
     import repro.experiments.blacklist  # noqa: F401  (registers blacklist)
+    import repro.experiments.blacklist_policy  # noqa: F401  (eviction study)
     import repro.experiments.figures  # noqa: F401  (registers studies)
     import repro.experiments.scale  # noqa: F401  (registers the scale study)
 
@@ -291,6 +312,22 @@ def make_straggler_model(
     """
     return STRAGGLER_MODELS.get(name).factory(
         profile, num_machines=num_machines, **kwargs
+    )
+
+
+def make_blacklist_policy(
+    name: str,
+    num_machines: Optional[int] = None,
+    **kwargs: Any,
+):
+    """Build a registered blacklist policy (or None for ``"none"``).
+
+    ``num_machines`` is the per-run cluster size, required by every
+    real policy to bound its eviction cap; the harness wires it
+    automatically for both simulator planes.
+    """
+    return BLACKLIST_POLICIES.get(name).factory(
+        num_machines=num_machines, **kwargs
     )
 
 
@@ -523,6 +560,70 @@ STRAGGLER_MODELS.register(
 )
 
 
+def _no_blacklist_policy(num_machines=None, **kwargs):
+    return None
+
+
+def _strikes_blacklist_policy(num_machines=None, probation=0.0, **kwargs):
+    from repro.cluster.policy import StrikeBlacklistPolicy
+
+    if num_machines is None:
+        raise KnobError(
+            "blacklist policy 'strikes' needs the per-run num_machines; "
+            "run it through the harness/RunSpec (which wire the cluster "
+            "size automatically) or pass num_machines to "
+            "make_blacklist_policy()"
+        )
+    return StrikeBlacklistPolicy(
+        num_machines=num_machines, probation=probation, **kwargs
+    )
+
+
+def _probation_blacklist_policy(num_machines=None, **kwargs):
+    from repro.cluster.policy import StrikeBlacklistPolicy
+
+    if num_machines is None:
+        raise KnobError(
+            "blacklist policy 'strikes-probation' needs the per-run "
+            "num_machines; run it through the harness/RunSpec or pass "
+            "num_machines to make_blacklist_policy()"
+        )
+    # Probation defaults to four evidence windows: long enough that a
+    # persistently flaky machine re-evicts almost immediately after
+    # rejoining, short enough that a falsely struck healthy machine
+    # returns its slots within the run.
+    window = kwargs.get(
+        "strike_window", StrikeBlacklistPolicy.DEFAULT_STRIKE_WINDOW
+    )
+    probation = kwargs.pop("probation", 4.0 * float(window))
+    return StrikeBlacklistPolicy(
+        num_machines=num_machines, probation=probation, **kwargs
+    )
+
+
+BLACKLIST_POLICIES.register(
+    "none",
+    _no_blacklist_policy,
+    description="no mid-run eviction (the default; substrate stays idle)",
+)
+BLACKLIST_POLICIES.register(
+    "strikes",
+    _strikes_blacklist_policy,
+    description=(
+        "evict after k slow completions in a sliding window (capped "
+        "fraction of the cluster); evictions are permanent"
+    ),
+)
+BLACKLIST_POLICIES.register(
+    "strikes-probation",
+    _probation_blacklist_policy,
+    description=(
+        "strike-driven eviction with probation: evicted machines rejoin "
+        "with a clean record after four evidence windows"
+    ),
+)
+
+
 def _register_workload_profiles() -> None:
     from repro.workload import generator
 
@@ -662,7 +763,43 @@ def _straggler_model_knob() -> Knob:
         type=str,
         default="pareto-redraw",
         description="straggler model name (see STRAGGLER_MODELS)",
-        validator=lambda v: v in STRAGGLER_MODELS,
+        choices=STRAGGLER_MODELS.names,
+    )
+
+
+def _blacklist_knobs() -> Tuple[Knob, ...]:
+    """Eviction-policy knobs shared by both simulator planes."""
+    return (
+        Knob(
+            "blacklist_policy",
+            type=str,
+            default="none",
+            description=(
+                "mid-run machine-eviction policy (see BLACKLIST_POLICIES)"
+            ),
+            choices=BLACKLIST_POLICIES.names,
+        ),
+        Knob(
+            "strike_threshold",
+            type=int,
+            default=3,
+            description="strikes within the window that evict a machine",
+            validator=lambda v: v >= 1,
+        ),
+        Knob(
+            "strike_window",
+            type=float,
+            default=10.0,
+            description="sliding strike-evidence window (virtual seconds)",
+            validator=lambda v: v > 0.0,
+        ),
+        Knob(
+            "eviction_cap",
+            type=float,
+            default=0.2,
+            description="max fraction of machines evicted at once",
+            validator=lambda v: 0.0 < v <= 1.0,
+        ),
     )
 
 
@@ -702,6 +839,7 @@ _CENTRALIZED_KNOBS = (
         validator=lambda v: v >= 1,
     ),
     _straggler_model_knob(),
+    *_blacklist_knobs(),
 )
 
 _DECENTRALIZED_KNOBS = (
@@ -741,6 +879,7 @@ _DECENTRALIZED_KNOBS = (
         validator=lambda v: v > 0.0,
     ),
     _straggler_model_knob(),
+    *_blacklist_knobs(),
 )
 
 _SINGLE_JOB_KNOBS = (
@@ -820,9 +959,11 @@ __all__ = [
     "SINGLE_JOB_SYSTEMS",
     "SPECULATION_POLICIES",
     "STRAGGLER_MODELS",
+    "BLACKLIST_POLICIES",
     "WORKLOAD_PROFILES",
     "STUDIES",
     "spec_kind",
     "studies",
     "make_straggler_model",
+    "make_blacklist_policy",
 ]

@@ -143,6 +143,21 @@ class JobRuntime:
         queue entry itself is lazily dropped by pop_pending)."""
         self.pending_ids.discard(task_id)
 
+    def requeue(self, task: Task) -> bool:
+        """Return a dispatched task to the back of the pending queue.
+
+        Used when a machine eviction kills a task's only running copy:
+        the work is not lost, it goes back through normal dispatch.
+        Idempotent — a task that is already queued (or finished) is not
+        queued twice. Returns True when the task was actually queued.
+        """
+        if task.is_finished or task.task_id in self.pending_ids:
+            return False
+        self.pending.append(task)
+        self.pending_ids.add(task.task_id)
+        self._note_queued(task)
+        return True
+
     # -- speculation candidates --------------------------------------------
 
     def speculation_candidates(self, now: float, min_interval: float) -> list:

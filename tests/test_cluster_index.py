@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro.cluster.blacklist import Blacklist
 from repro.cluster.cluster import Cluster
 from repro.cluster.index import ClusterIndex
 from repro.cluster.machine import Machine
@@ -94,6 +95,141 @@ def test_randomized_sequences_with_blacklisting(seed):
                 cluster.acquire_slot(machine_id)
                 cluster.release_slot(machine_id)
         _assert_index_matches_scan(cluster)
+
+
+class _ReferenceBlacklist:
+    """Brute-force reference for :class:`Blacklist`: keeps the complete
+    strike history and recomputes everything from scratch per query."""
+
+    def __init__(self, strikes_to_blacklist, strike_window):
+        self.k = strikes_to_blacklist
+        self.window = strike_window
+        self.history = {}  # machine -> [strike times]
+        self.blacklisted = set()
+
+    def _counting(self, machine_id, now):
+        times = self.history.get(machine_id, [])
+        if self.window is None:
+            return len(times)
+        return len([t for t in times if now - t < self.window])
+
+    def record_strike(self, machine_id, now):
+        if machine_id in self.blacklisted:
+            return False
+        self.history.setdefault(machine_id, []).append(now)
+        if self._counting(machine_id, now) >= self.k:
+            self.blacklisted.add(machine_id)
+            return True
+        return False
+
+    def add(self, machine_id):
+        self.blacklisted.add(machine_id)
+
+    def remove(self, machine_id):
+        self.blacklisted.discard(machine_id)
+        self.history.pop(machine_id, None)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_blacklist_matches_brute_force_reference(seed):
+    """Property: randomized strike/eviction/reinstatement sequences with
+    non-decreasing timestamps keep the windowed Blacklist equal to the
+    full-history brute-force reference at every step."""
+    rng = random.Random(seed)
+    k = rng.randint(1, 4)
+    window = rng.choice([None, 1.0, 5.0, 20.0])
+    num_machines = rng.randint(1, 12)
+    actual = Blacklist(strikes_to_blacklist=k, strike_window=window)
+    reference = _ReferenceBlacklist(k, window)
+    now = 0.0
+    for _ in range(400):
+        now += rng.random() * 3.0
+        machine_id = rng.randrange(num_machines)
+        op = rng.random()
+        if op < 0.7:
+            assert actual.record_strike(
+                machine_id, now
+            ) == reference.record_strike(machine_id, now)
+        elif op < 0.85:
+            actual.add(machine_id)
+            reference.add(machine_id)
+        else:  # reinstatement wipes the strike record in both
+            actual.remove(machine_id)
+            reference.remove(machine_id)
+        assert actual.blacklisted_machines == reference.blacklisted
+        if window is not None:
+            probe = rng.randrange(num_machines)
+            if not actual.is_blacklisted(probe):
+                assert actual.strike_count(probe, now) == reference._counting(
+                    probe, now
+                )
+
+
+def test_blacklist_window_expires_old_strikes():
+    blacklist = Blacklist(strikes_to_blacklist=2, strike_window=5.0)
+    assert not blacklist.record_strike(0, now=0.0)
+    # The first strike has aged out: the second one does not blacklist.
+    assert not blacklist.record_strike(0, now=6.0)
+    assert blacklist.record_strike(0, now=8.0)
+    assert blacklist.is_blacklisted(0)
+
+
+def test_blacklist_lifetime_mode_unchanged():
+    """window=None keeps the original cumulative-count semantics."""
+    blacklist = Blacklist(strikes_to_blacklist=3)
+    assert not blacklist.record_strike(1, now=0.0)
+    assert not blacklist.record_strike(1, now=1000.0)
+    assert blacklist.record_strike(1, now=9999.0)
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_index_invariants_under_midrun_eviction(seed):
+    """Property: interleave slot traffic with simulator-style mid-run
+    eviction (kill the victim's busy slots, then apply the blacklist)
+    and reinstatement; the index must equal the from-scratch scan at
+    every step."""
+    rng = random.Random(seed)
+    num_machines = rng.randint(4, 24)
+    cluster = Cluster(
+        num_machines=num_machines, slots_per_machine=rng.randint(1, 3)
+    )
+    policy_blacklist = Blacklist(strikes_to_blacklist=2, strike_window=8.0)
+    busy = {m: 0 for m in range(num_machines)}
+    now = 0.0
+    for _ in range(250):
+        now += rng.random()
+        op = rng.random()
+        if op < 0.45 and cluster.index.free_machine_count:
+            free_ids = cluster.index.free_machine_ids()
+            machine_id = free_ids[rng.randrange(len(free_ids))]
+            cluster.acquire_slot(machine_id)
+            busy[machine_id] += 1
+        elif op < 0.7:
+            candidates = [m for m, b in busy.items() if b > 0]
+            if candidates:
+                machine_id = rng.choice(candidates)
+                cluster.release_slot(machine_id)
+                busy[machine_id] -= 1
+        elif op < 0.9:
+            # Strike a machine; on crossing the threshold, evict it the
+            # way the simulators do: kill (release) its running copies
+            # first, then apply the blacklist (which rebuilds the index).
+            machine_id = rng.randrange(num_machines)
+            if policy_blacklist.record_strike(machine_id, now):
+                while busy[machine_id] > 0:
+                    cluster.release_slot(machine_id)
+                    busy[machine_id] -= 1
+                cluster.blacklist.add(machine_id)
+                cluster.apply_blacklist()
+        else:
+            evicted = sorted(policy_blacklist.blacklisted_machines)
+            if evicted:  # probation served: reinstate one
+                machine_id = rng.choice(evicted)
+                policy_blacklist.remove(machine_id)
+                cluster.blacklist.remove(machine_id)
+                cluster.apply_blacklist()
+        _assert_index_matches_scan(cluster)
+        assert cluster.busy_slots == sum(busy.values())
 
 
 def test_index_survives_cluster_reset():

@@ -55,6 +55,13 @@ GOLDEN_STUDY_DIGESTS = {
     "blacklist": (
         "026309fa30580c22d0345d4b9a6236487cbda3d7f3521610c8112fb2c8418456"
     ),
+    # Born in PR 5 (strike-driven eviction): pinned at its first output.
+    # The eviction-off cells coincide with runs of the policy-free
+    # simulators, so this digest also pins the "policy wiring is inert
+    # by default" property inside a study that exercises eviction.
+    "blacklist_policy": (
+        "c87703598e96dc9543a93d15f10c442fbef95c6e5957f2b895d8952ebf3d7842"
+    ),
 }
 
 
@@ -128,6 +135,9 @@ def test_scale_centralized_cell_spec_digest_is_pinned():
 #: shift any of them (results are covered by the study digests above).
 GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS = {
     "blacklist": "a5379f2aedfb33f6645c4bf1a1b479b96860a833b17de2a58a45a9d9a6858d5a",
+    "blacklist_policy": (
+        "7df91627788687e8039f47c8af67580a358115097aaf1f315745bd91be942495"
+    ),
     "fig12": "450224f405c8d86ac81a06d1f366f395e11885ab58bfa7908669ba7f52971d27",
     "fig13": "45153b1fe23ce85bcf404a63343ee9d4a4fd1c44ab8dc1a322f82893d759f4e2",
     "fig5": "397af2530efd1bb7e3e1e78267bb8cff72611deae05f7e495f6be7edef719540",
@@ -172,6 +182,60 @@ def test_centralized_cell_spec_digests_match(name):
         _centralized_cell_spec_digest(name)
         == GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS[name]
     )
+
+
+def _result_payload(results) -> str:
+    return json.dumps(
+        [result_to_dict(r) for r in results],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+@pytest.mark.parametrize("kind", ["centralized", "decentralized"])
+def test_explicit_none_blacklist_policy_is_byte_identical(kind):
+    """Differential: blacklist_policy="none" must not perturb a replay.
+
+    The knob changes the RunSpec digest (it is a real knob) but the
+    *results* must be byte-identical to the knob-free run — the policy
+    wiring may not consume entropy, reorder events, or touch the
+    cluster when no policy is active.
+    """
+    workload = WorkloadParams(
+        profile="facebook", num_jobs=12, utilization=0.6,
+        total_slots=60, seed=5,
+    )
+    bare = RunSpec(kind, "hopper", workload)
+    with_none = RunSpec(
+        kind, "hopper", workload, knobs={"blacklist_policy": "none"}
+    )
+    assert bare.digest() != with_none.digest()  # real knob, real cache key
+    assert _result_payload([bare.execute()]) == _result_payload(
+        [with_none.execute()]
+    )
+
+
+def test_eviction_improves_machine_correlated_quick_grid():
+    """Behavioural differential (the PR's acceptance criterion): on the
+    blacklist_policy study's quick grid, strike-driven eviction improves
+    mean job completion time over eviction-off under machine-correlated
+    stragglers, on BOTH simulator planes."""
+    study = registry.studies().get("blacklist_policy").factory
+    result = study.run(
+        seeds=(study.seeds[0],), runner=SweepRunner(parallel=False), quick=True
+    )
+    mean_jct = {}
+    for cell, per_cell in zip(result.cells, result.results):
+        labels = cell.label_dict()
+        key = (labels["straggler_model"], labels["eviction"], labels["kind"])
+        mean_jct[key] = per_cell[0].mean_job_duration
+    for kind in ("centralized", "decentralized"):
+        off = mean_jct[("machine-correlated", "none", kind)]
+        on = mean_jct[("machine-correlated", "strikes", kind)]
+        assert on < off, (
+            f"{kind}: eviction-on mean JCT {on} did not improve on "
+            f"eviction-off {off}"
+        )
 
 
 def test_scale_quick_grid_covers_ten_thousand_slots():

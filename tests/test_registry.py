@@ -164,6 +164,103 @@ def test_unknown_knob_error_lists_schema():
     assert "probe_ratio" in message
 
 
+def test_unknown_registry_name_knob_error_lists_family_members():
+    """A knob naming a registry entry must list the registered names of
+    that family on rejection, not just echo the bad name."""
+    with pytest.raises(registry.KnobError) as excinfo:
+        RunSpec(
+            "decentralized",
+            "hopper",
+            TINY,
+            knobs={"straggler_model": "bogus"},
+        )
+    message = str(excinfo.value)
+    assert "'bogus'" in message
+    for name in registry.STRAGGLER_MODELS.names():
+        assert name in message
+
+    with pytest.raises(registry.KnobError) as excinfo:
+        RunSpec(
+            "centralized",
+            "hopper",
+            TINY,
+            knobs={"blacklist_policy": "bogus"},
+        )
+    message = str(excinfo.value)
+    assert "'bogus'" in message
+    for name in registry.BLACKLIST_POLICIES.names():
+        assert name in message
+
+
+def test_knob_choices_track_late_registrations():
+    """The choices listing is live: a policy registered after the knob
+    schema was built validates (and appears in the error message)."""
+    registry.BLACKLIST_POLICIES.register(
+        "plugin-policy", lambda num_machines=None, **k: None,
+        description="test plugin",
+    )
+    try:
+        spec = RunSpec(
+            "decentralized",
+            "hopper",
+            TINY,
+            knobs={"blacklist_policy": "plugin-policy"},
+        )
+        assert dict(spec.knobs)["blacklist_policy"] == "plugin-policy"
+        with pytest.raises(registry.KnobError) as excinfo:
+            RunSpec(
+                "decentralized",
+                "hopper",
+                TINY,
+                knobs={"blacklist_policy": "bogus"},
+            )
+        assert "plugin-policy" in str(excinfo.value)
+    finally:
+        registry.BLACKLIST_POLICIES.unregister("plugin-policy")
+
+
+def test_blacklist_knobs_are_validated():
+    for knobs in (
+        {"strike_threshold": 0},
+        {"strike_window": 0.0},
+        {"eviction_cap": 0.0},
+        {"eviction_cap": 1.5},
+        {"strike_threshold": 2.5},
+    ):
+        with pytest.raises(registry.KnobError):
+            RunSpec("centralized", "hopper", TINY, knobs=knobs)
+    spec = RunSpec(
+        "decentralized",
+        "hopper",
+        TINY,
+        knobs={
+            "blacklist_policy": "strikes",
+            "strike_threshold": 2,
+            "strike_window": 5.0,
+            "eviction_cap": 0.1,
+        },
+    )
+    assert dict(spec.knobs)["blacklist_policy"] == "strikes"
+
+
+def test_make_blacklist_policy_factory():
+    from repro.cluster.policy import StrikeBlacklistPolicy
+
+    assert registry.make_blacklist_policy("none") is None
+    policy = registry.make_blacklist_policy(
+        "strikes", num_machines=100, strike_threshold=2, eviction_cap=0.5
+    )
+    assert isinstance(policy, StrikeBlacklistPolicy)
+    assert policy.max_evictions == 50
+    assert policy.probation == 0.0
+    probation = registry.make_blacklist_policy(
+        "strikes-probation", num_machines=100, strike_window=5.0
+    )
+    assert probation.probation == 20.0  # four evidence windows
+    with pytest.raises(registry.KnobError, match="num_machines"):
+        registry.make_blacklist_policy("strikes")
+
+
 def test_straggler_model_knob_is_validated_and_runs():
     with pytest.raises(ValueError, match="straggler_model"):
         RunSpec(

@@ -308,3 +308,208 @@ def test_ledger_record_job_completion_stamps_job():
     assert job.finish_time == 3.0
     assert metrics.result.num_jobs == 1
     assert metrics.result.jobs[0].job_id == job.job_id
+
+
+# -- mid-run eviction: kill -> requeue -> completion lifecycle ---------------
+
+
+def _machine_copy_census(simulator):
+    """machine_id -> live copies, via the per-job views (both planes
+    prune finished/killed copies synchronously)."""
+    per_machine = {}
+    for jr in simulator._jobs.values():
+        for copies in jr.view.copies_by_task.values():
+            for c in copies:
+                per_machine.setdefault(c.machine_id, []).append(c)
+    return per_machine
+
+
+def _centralized_sim(num_machines=6, slots_per_machine=2, num_jobs=6):
+    from repro.centralized.config import CentralizedConfig, SpeculationMode
+    from repro.centralized.simulator import CentralizedSimulator
+    from repro.cluster.cluster import Cluster
+    from repro.registry import CENTRALIZED_SYSTEMS
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import LATE
+    from repro.stragglers.model import ParetoStragglerModel
+    from repro.workload.generator import FACEBOOK_PROFILE, TraceGenerator
+    from repro.workload.traces import Trace
+
+    gen = TraceGenerator(
+        FACEBOOK_PROFILE,
+        random_source=RandomSource(seed=11),
+        max_phase_tasks=30,
+    )
+    trace = Trace(jobs=gen.generate(num_jobs, interarrival_mean=1.0))
+    return CentralizedSimulator(
+        cluster=Cluster(
+            num_machines=num_machines, slots_per_machine=slots_per_machine
+        ),
+        policy=CENTRALIZED_SYSTEMS.get("hopper").factory(epsilon=0.1),
+        speculation=lambda: LATE(),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoStragglerModel(straggler_prob=0.5),
+        config=CentralizedConfig(
+            speculation_mode=SpeculationMode.INTEGRATED
+        ),
+        random_source=RandomSource(seed=12),
+    )
+
+
+def test_centralized_eviction_kills_requeues_and_completes():
+    """Evicting a machine with running original + speculative copies
+    drives the ledger through kill -> requeue -> completion: every job
+    still finishes, no ledger entries or heap events leak, and the
+    evicted machine ends idle and blacklisted."""
+    simulator = _centralized_sim()
+    evicted = []
+
+    def evict_mixed_machine():
+        per_machine = _machine_copy_census(simulator)
+        target = None
+        for machine_id, copies in sorted(per_machine.items()):
+            has_spec = any(c.speculative for c in copies)
+            has_orig = any(not c.speculative for c in copies)
+            if has_spec and has_orig:
+                target = machine_id
+                break
+        if target is None and per_machine:  # fall back: any busy machine
+            target = sorted(per_machine)[0]
+        if target is not None:
+            evicted.append((target, list(per_machine[target])))
+            simulator._evict_machine(target)
+
+    # Let load build up, then evict a machine racing an original and a
+    # speculative copy of some task (t=10 is past the first LATE scan
+    # that launches a speculative copy on this trace/seed).
+    simulator.sim.schedule(10.0, evict_mixed_machine)
+    result = simulator.run()
+
+    assert evicted, "eviction hook never fired"
+    machine_id, killed = evicted[0]
+    assert any(c.speculative for c in killed)
+    assert any(not c.speculative for c in killed)
+    # Every killed copy was settled through the ledger.
+    assert all(c.killed for c in killed)
+    assert result.killed_copies >= len(killed)
+    # Requeue -> completion: the trace still finishes every job.
+    assert result.num_jobs == 6
+    for job in simulator.trace:
+        assert job.is_complete
+    # No leaked ledger entries or heap events.
+    assert simulator.ledger.events == {}
+    assert simulator.sim.pending_events == 0
+    # The machine stayed out: idle, blacklisted, excluded from totals.
+    machine = simulator.cluster.machine(machine_id)
+    assert machine.blacklisted and machine.busy_slots == 0
+    assert simulator.cluster.busy_slots == 0
+    assert simulator.cluster.total_slots == sum(
+        m.num_slots for m in simulator.cluster.machines if not m.blacklisted
+    )
+    assert simulator.cluster.index.free_machine_ids() == [
+        m.machine_id
+        for m in simulator.cluster.machines
+        if m.has_free_slot
+    ]
+
+
+def test_centralized_eviction_requeues_only_copyless_tasks():
+    """A task whose original died in the eviction but whose speculative
+    sibling survives elsewhere is NOT requeued (the sibling carries it);
+    a task that lost its only copy is requeued and eventually runs."""
+    simulator = _centralized_sim()
+    observed = []
+
+    def evict_and_audit():
+        per_machine = _machine_copy_census(simulator)
+        if not per_machine:
+            return
+        target = sorted(per_machine)[0]
+        victims = per_machine[target]
+        jobs = {
+            c.task.task_id: jr
+            for jr in simulator._jobs.values()
+            for copies in jr.view.copies_by_task.values()
+            for c in copies
+        }
+        simulator._evict_machine(target)
+        for c in victims:
+            jr = jobs[c.task.task_id]
+            survivors = jr.view.num_live_copies(c.task)
+            queued = c.task.task_id in jr.pending_ids
+            observed.append((survivors, queued, c.task.is_finished))
+
+    simulator.sim.schedule(4.0, evict_and_audit)
+    simulator.run()
+    assert observed
+    for survivors, queued, finished in observed:
+        if finished:
+            continue
+        # Requeued exactly when no live copy survived the eviction.
+        assert queued == (survivors == 0)
+
+
+def test_decentralized_eviction_kills_requeues_and_completes():
+    from repro.cluster.policy import StrikeBlacklistPolicy
+    from repro.decentralized.config import DecentralizedConfig, WorkerPolicy
+    from repro.decentralized.simulator import DecentralizedSimulator
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import LATE
+    from repro.stragglers.model import ParetoStragglerModel
+    from repro.workload.generator import FACEBOOK_PROFILE, TraceGenerator
+    from repro.workload.traces import Trace
+
+    gen = TraceGenerator(
+        FACEBOOK_PROFILE,
+        random_source=RandomSource(seed=11),
+        max_phase_tasks=30,
+    )
+    trace = Trace(jobs=gen.generate(6, interarrival_mean=1.0))
+    num_workers = 12
+    simulator = DecentralizedSimulator(
+        num_workers=num_workers,
+        speculation=lambda: LATE(),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoStragglerModel(straggler_prob=0.5),
+        config=DecentralizedConfig(
+            worker_policy=WorkerPolicy.HOPPER, probe_ratio=4.0, epsilon=0.1
+        ),
+        random_source=RandomSource(seed=12),
+        # Inert policy (threshold out of reach): exercises the observe
+        # path while letting the test trigger the eviction itself.
+        blacklist_policy=StrikeBlacklistPolicy(
+            num_workers, strike_threshold=10**6
+        ),
+    )
+    evicted = []
+
+    def evict_busiest_worker():
+        busiest = max(
+            simulator.workers, key=lambda w: len(w.running), default=None
+        )
+        if busiest is not None and busiest.running:
+            evicted.append((busiest, list(busiest.running)))
+            simulator._evict_worker(busiest.worker_id)
+
+    simulator.sim.schedule(4.0, evict_busiest_worker)
+    result = simulator.run()
+
+    assert evicted, "eviction hook never fired"
+    worker, killed = evicted[0]
+    assert all(c.killed for c in killed)
+    assert result.killed_copies >= len(killed)
+    # Requeue -> completion: every job still finishes.
+    assert result.num_jobs == 6
+    for job in simulator.trace:
+        assert job.is_complete
+    # No leaked ledger entries, heap events, queued requests or slots.
+    assert simulator.ledger.events == {}
+    assert simulator.sim.pending_events == 0
+    assert worker.evicted and worker.queue == [] and worker.running == []
+    assert worker.busy_slots == 0
+    assert simulator._request_holders == {}
+    # The mirror substrate recorded the eviction and rebuilt its index.
+    assert simulator.cluster.blacklist.is_blacklisted(worker.worker_id)
+    assert worker.worker_id not in simulator.cluster.index.free_machine_ids()
+    assert worker not in simulator._sample_pool
+    assert len(simulator._sample_pool) == num_workers - 1
