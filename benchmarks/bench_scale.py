@@ -66,8 +66,15 @@ def _build_trace(total_slots: int, num_jobs: int):
     return profile, spec, build_trace(spec)
 
 
-def run_once_decentralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
-    """One timed decentralized-Hopper replay; returns a result row."""
+def run_once_decentralized(
+    total_slots: int, num_jobs: int, obs: Any = None
+) -> Dict[str, Any]:
+    """One timed decentralized-Hopper replay; returns a result row.
+
+    ``obs`` (a :class:`repro.obs.Obs` or None) is threaded through so
+    ``bench_obs.py`` can measure instrumentation overhead on the exact
+    same workload; the default keeps this benchmark tracer-free.
+    """
     from repro import registry
     from repro.decentralized.config import DecentralizedConfig
     from repro.decentralized.simulator import DecentralizedSimulator
@@ -92,6 +99,7 @@ def run_once_decentralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
         ),
         random_source=RandomSource(seed=RUN_SEED),
         name="hopper",
+        obs=obs,
     )
     start = time.perf_counter()
     result = simulator.run()
@@ -110,9 +118,12 @@ def run_once_decentralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
     }
 
 
-def run_once_centralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
+def run_once_centralized(
+    total_slots: int, num_jobs: int, obs: Any = None
+) -> Dict[str, Any]:
     """One timed centralized-Hopper replay (the harness defaults:
-    INTEGRATED speculation, 4 slots per machine); returns a result row."""
+    INTEGRATED speculation, 4 slots per machine); returns a result row.
+    ``obs`` as in :func:`run_once_decentralized`."""
     from repro import registry
     from repro.centralized.config import CentralizedConfig, SpeculationMode
     from repro.centralized.simulator import CentralizedSimulator
@@ -141,6 +152,7 @@ def run_once_centralized(total_slots: int, num_jobs: int) -> Dict[str, Any]:
             default_beta=profile.beta,
         ),
         random_source=RandomSource(seed=RUN_SEED),
+        obs=obs,
     )
     start = time.perf_counter()
     result = simulator.run()

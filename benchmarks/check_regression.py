@@ -37,12 +37,15 @@ def _load(path: Path) -> Dict[str, Any]:
 
 def _row_key(row: Dict[str, Any]) -> Tuple:
     # Baselines predating the centralized axis have no "system" field;
-    # they were all decentralized rows.
+    # they were all decentralized rows. "mode" distinguishes bench_obs's
+    # instrumented rows; plain rows (scale baseline included) omit it,
+    # so obs-off rows gate directly against the scale baseline.
     return (
         row.get("system", "decentralized"),
         row.get("total_slots"),
         row.get("num_jobs"),
         row.get("probe_ratio"),
+        row.get("mode"),
     )
 
 
@@ -90,10 +93,12 @@ def check(
         )
 
     def row_label(key: Tuple) -> str:
-        system, slots, jobs, d = key
+        system, slots, jobs, d, mode = key
         label = f"{system} slots={slots} jobs={jobs}"
         if d is not None:
             label += f" d={d:g}"
+        if mode is not None:
+            label += f" mode={mode}"
         return label
 
     base_rows = {_row_key(r): r for r in baseline.get("rows", [])}

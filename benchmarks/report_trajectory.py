@@ -1,0 +1,79 @@
+"""Render the committed BENCH_*.json throughput trajectory from git.
+
+Thin argparse wrapper over :mod:`repro.obs.trajectory` (also reachable
+as ``python -m repro bench trajectory``), kept under ``benchmarks/`` so
+the CI perf-smoke job can invoke it next to the other bench scripts and
+upload the Markdown report as a non-blocking artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/report_trajectory.py
+    PYTHONPATH=src python benchmarks/report_trajectory.py \
+        --output trajectory.md --names scale,obs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:  # allow plain `python benchmarks/...`
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from _tables import print_table  # noqa: E402
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs import trajectory as traj
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--names",
+        default=",".join(traj.DEFAULT_BENCH_NAMES),
+        metavar="N1,N2,...",
+        help="comma-separated bench names (default: scale,blacklist,obs)",
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=str(_ROOT),
+        metavar="DIR",
+        help="git repository to read history from (default: repo root)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write a Markdown report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    names = [name for name in args.names.split(",") if name]
+    try:
+        histories = traj.report(names, repo_root=args.repo_root)
+    except traj.TrajectoryError as exc:
+        # Reporting aid only — never fail CI over a shallow clone.
+        print(f"[trajectory] unavailable: {exc}", file=sys.stderr)
+        return 0
+    for name in names:
+        entries = histories[name]
+        if not entries:
+            print(f"\nBENCH_{name}.json: no committed throughput history")
+            continue
+        print_table(
+            f"BENCH_{name}.json: events/sec across commits",
+            ("commit", "date", "subject", "events/sec", "delta"),
+            traj.trajectory_rows(entries),
+        )
+    if args.output:
+        Path(args.output).write_text(
+            traj.format_markdown(histories) + "\n", encoding="utf-8"
+        )
+        print(f"\nwrote markdown report to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ Public API highlights
   plugging in new named things end-to-end.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import (
     JobAllocationState,

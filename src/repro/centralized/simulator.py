@@ -53,6 +53,7 @@ from repro.core.virtual_size import virtual_size
 from repro.estimation.alpha import AlphaEstimator
 from repro.estimation.beta import OnlineBetaEstimator
 from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.obs import Obs
 from repro.runtime import CopyLedger, LocalityJobRuntime
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomSource
@@ -125,6 +126,8 @@ class CentralizedSimulator:
         "_running_original_copies",
         "_spec_eval_min_interval",
         "_blacklist_policy",
+        "obs",
+        "_tracer",
     )
 
     def __init__(
@@ -138,6 +141,7 @@ class CentralizedSimulator:
         datastore: Optional[DataStore] = None,
         random_source: Optional[RandomSource] = None,
         blacklist_policy: Optional[BlacklistPolicy] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.cluster = cluster
         self.policy = policy
@@ -147,8 +151,10 @@ class CentralizedSimulator:
         self.config = config or CentralizedConfig()
         self.datastore = datastore
         self.random_source = random_source or RandomSource(seed=0)
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
 
-        self.sim = Simulator()
+        self.sim = Simulator(obs=obs)
         self.metrics = MetricsCollector(scheduler_name=policy.name)
         self.beta_estimator = OnlineBetaEstimator(
             default_beta=self.config.default_beta
@@ -156,7 +162,9 @@ class CentralizedSimulator:
         self.alpha_estimator = AlphaEstimator(
             network_rate=self.config.network_rate
         )
-        self.ledger = CopyLedger(self.sim, self.metrics, self.beta_estimator)
+        self.ledger = CopyLedger(
+            self.sim, self.metrics, self.beta_estimator, tracer=self._tracer
+        )
 
         self._rng = self.random_source.child("centralized").rng
         self._jobs: Dict[int, _JobRuntime] = {}
@@ -187,7 +195,15 @@ class CentralizedSimulator:
             absolute=True,
         )
         self.sim.run(until=until)
+        self._finalize_diagnostics()
         return self.metrics.result
+
+    def _finalize_diagnostics(self) -> None:
+        result = self.metrics.result
+        if self._blacklist_policy is not None:
+            result.machine_strikes = self._blacklist_policy.strike_totals()
+        if self.obs is not None:
+            result.obs = self.obs.report()
 
     # -------------------------------------------------------------- helpers --
 
@@ -250,6 +266,15 @@ class CentralizedSimulator:
     # ------------------------------------------------------------- events ----
 
     def _on_job_arrival(self, job: Job) -> None:
+        if self._tracer is not None:
+            self._tracer.begin(
+                "job",
+                "job",
+                ("job", job.job_id),
+                self.sim.now,
+                job=job.job_id,
+                tasks=job.num_tasks,
+            )
         if self.datastore is not None:
             self.datastore.place_job_inputs(job)
         jr = _JobRuntime(job, self.speculation_factory())
@@ -351,9 +376,16 @@ class CentralizedSimulator:
 
     def _observe_blacklist(self, copy: TaskCopy, jr: _JobRuntime) -> None:
         """Feed one completion to the eviction policy and act on it."""
-        reinstated, evict = evaluate_completion(
-            self._blacklist_policy, self.sim.now, copy, jr.view
-        )
+        obs = self.obs
+        if obs is None:
+            reinstated, evict = evaluate_completion(
+                self._blacklist_policy, self.sim.now, copy, jr.view
+            )
+        else:
+            with obs.timers.phase("policy.evaluate_completion"):
+                reinstated, evict = evaluate_completion(
+                    self._blacklist_policy, self.sim.now, copy, jr.view
+                )
         for machine_id in reinstated:
             self._reinstate_machine(machine_id)
         if evict is not None:
@@ -380,15 +412,42 @@ class CentralizedSimulator:
             # a live copy elsewhere still carries the task.
             if jr.view.num_live_copies(task) == 0 and jr.requeue(task):
                 task.state = TaskState.PENDING
-        cluster.apply_blacklist()  # machine flags + totals + index rebuild
+        self._apply_blacklist()  # machine flags + totals + index rebuild
         self._resize_slot_pool()
+        self.metrics.record_eviction()
+        obs = self.obs
+        if obs is not None:
+            obs.counters.inc("blacklist.evictions")
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "blacklist", "evict", self.sim.now, machine=machine_id,
+                    victims=len(victims),
+                )
 
     def _reinstate_machine(self, machine_id: int) -> None:
         """Probation served: return the machine's slots to the pool."""
         cluster = self.cluster
         cluster.blacklist.remove(machine_id)
-        cluster.apply_blacklist()
+        self._apply_blacklist()
         self._resize_slot_pool()
+        self.metrics.record_reinstatement()
+        obs = self.obs
+        if obs is not None:
+            obs.counters.inc("blacklist.reinstatements")
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "blacklist", "reinstate", self.sim.now, machine=machine_id
+                )
+
+    def _apply_blacklist(self) -> None:
+        """Apply blacklist changes to the cluster (index rebuild), timed
+        as ``index.rebuild`` when observability is on."""
+        obs = self.obs
+        if obs is None:
+            self.cluster.apply_blacklist()
+        else:
+            with obs.timers.phase("index.rebuild"):
+                self.cluster.apply_blacklist()
 
     def _resize_slot_pool(self) -> None:
         """Eviction/reinstatement changed the usable slot count; refresh
@@ -423,7 +482,12 @@ class CentralizedSimulator:
         else:
             original_slots = self._total_slots
 
-        targets = self.policy.allocate(states, original_slots)
+        obs = self.obs
+        if obs is None:
+            targets = self.policy.allocate(states, original_slots)
+        else:
+            with obs.timers.phase("policy.allocate"):
+                targets = self.policy.allocate(states, original_slots)
         self.metrics.record_guideline_decision(
             constrained=sum(s.virtual_size for s in states) > self._total_slots
         )

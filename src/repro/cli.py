@@ -19,11 +19,19 @@ Subcommands
 ``cache``
     Inspect (``stats``), prune (``prune [--older-than DAYS]``) or clear
     the on-disk result cache.
+``trace capture / trace export``
+    Record a structured JSONL event trace of one instrumented run, and
+    convert it to Chrome ``chrome://tracing`` / Perfetto JSON.
+``bench trajectory``
+    Render the events/sec trajectory of the committed ``BENCH_*.json``
+    files across the repo's git history.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -467,6 +475,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile(name: str, result) -> None:
+    """Per-phase wall-time table aggregated over a study's runs.
+
+    Only instrumented runs contribute (cache hits recorded without
+    ``REPRO_OBS`` carry no report); with none, say so rather than
+    printing an empty table.
+    """
+    from repro.obs import aggregate_counters, aggregate_timers
+
+    reports = [
+        r.obs
+        for per_cell in result.results
+        for r in per_cell
+        if r.obs is not None
+    ]
+    timers = aggregate_timers(reports)
+    if not timers:
+        print(
+            f"\n[profile] study {name}: no phase timings recorded "
+            f"(runs may have been served from a cache written without "
+            f"REPRO_OBS)"
+        )
+        return
+    total = sum(cell["seconds"] for cell in timers.values())
+    print_table(
+        f"Profile {name}: wall seconds by phase "
+        f"({len(reports)} instrumented run(s))",
+        ("phase", "calls", "seconds", "share %"),
+        [
+            (
+                phase,
+                cell["calls"],
+                round(cell["seconds"], 6),
+                round(100.0 * cell["seconds"] / total, 1) if total else 0.0,
+            )
+            for phase, cell in timers.items()
+        ],
+    )
+    counters = aggregate_counters(reports)
+    if counters:
+        print_table(
+            f"Profile {name}: event counters",
+            ("counter", "count"),
+            sorted(counters.items()),
+        )
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     study_registry = registry.studies()
     unknown = [name for name in args.studies if name not in study_registry]
@@ -485,27 +540,47 @@ def _cmd_study(args: argparse.Namespace) -> int:
         return 2
     runner = _build_runner(args)
     ci_pct = round(args.confidence * 100)
-    for name in args.studies:
-        study = study_registry.get(name).factory
-        result = study.run(seeds=seeds, runner=runner, quick=args.quick)
-        rows = result.aggregate(
-            metric=study.metric,
-            confidence=args.confidence,
-            resamples=args.resamples,
-        )
-        axes = [key for key, _ in rows[0].labels]
-        print_table(
-            f"Study {name}: {study.description} "
-            f"[{study.metric_name}; "
-            f"seeds {','.join(str(s) for s in result.seeds)}]",
-            tuple(axes)
-            + ("n", "mean", "p95", f"ci{ci_pct:g} lo", f"ci{ci_pct:g} hi"),
-            [
-                tuple(value for _, value in row.labels)
-                + (row.n, row.mean, row.p95, row.ci_lower, row.ci_upper)
-                for row in rows
-            ],
-        )
+    profile = getattr(args, "profile", False)
+    saved_obs = None
+    if profile:
+        # The sweep layer enables observability out-of-band (REPRO_OBS
+        # propagates into pool workers) so RunSpec digests stay pinned.
+        from repro.obs import OBS_ENV
+
+        saved_obs = os.environ.get(OBS_ENV)
+        os.environ[OBS_ENV] = "1"
+    try:
+        for name in args.studies:
+            study = study_registry.get(name).factory
+            result = study.run(seeds=seeds, runner=runner, quick=args.quick)
+            rows = result.aggregate(
+                metric=study.metric,
+                confidence=args.confidence,
+                resamples=args.resamples,
+            )
+            axes = [key for key, _ in rows[0].labels]
+            print_table(
+                f"Study {name}: {study.description} "
+                f"[{study.metric_name}; "
+                f"seeds {','.join(str(s) for s in result.seeds)}]",
+                tuple(axes)
+                + ("n", "mean", "p95", f"ci{ci_pct:g} lo", f"ci{ci_pct:g} hi"),
+                [
+                    tuple(value for _, value in row.labels)
+                    + (row.n, row.mean, row.p95, row.ci_lower, row.ci_upper)
+                    for row in rows
+                ],
+            )
+            if profile:
+                _print_profile(name, result)
+    finally:
+        if profile:
+            from repro.obs import OBS_ENV
+
+            if saved_obs is None:
+                os.environ.pop(OBS_ENV, None)
+            else:
+                os.environ[OBS_ENV] = saved_obs
     _print_stats(runner)
     return 0
 
@@ -564,6 +639,111 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"cache directory : {cache.directory}")
     print(f"entries         : {cache.entry_count()}")
     print(f"size            : {cache.size_bytes()} bytes")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Obs, Tracer
+
+    if args.action == "export":
+        try:
+            records = Tracer.read_jsonl(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trace {args.input!r}: {exc}", file=sys.stderr)
+            return 2
+        doc = Tracer.chrome_trace(records)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+        print(
+            f"wrote {len(doc['traceEvents'])} trace event(s) to "
+            f"{args.output} (open in chrome://tracing or "
+            f"https://ui.perfetto.dev)"
+        )
+        return 0
+
+    # capture: one instrumented run, trace written as JSONL.
+    valid = registry.spec_kind(args.kind).systems.names()
+    if args.system not in valid:
+        print(
+            f"unknown {args.kind} system {args.system!r}; "
+            f"expected one of {', '.join(valid)}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.experiments.harness import (
+        WorkloadSpec,
+        build_trace,
+        run_centralized,
+        run_decentralized,
+    )
+    from repro.workload.generator import profile_by_name
+
+    try:
+        spec = WorkloadSpec(
+            profile=profile_by_name(args.profile),
+            num_jobs=args.num_jobs,
+            utilization=args.utilization,
+            total_slots=args.total_slots,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"invalid capture parameters: {exc}", file=sys.stderr)
+        return 2
+    obs = Obs(trace=True)
+    runner = (
+        run_centralized if args.kind == "centralized" else run_decentralized
+    )
+    result = runner(
+        build_trace(spec),
+        args.system,
+        spec,
+        speculation=args.speculation,
+        run_seed=args.run_seed,
+        obs=obs,
+    )
+    count = obs.tracer.write_jsonl(args.output)
+    print(
+        f"wrote {count} trace record(s) to {args.output} "
+        f"({args.kind} {args.system}, {result.num_jobs} jobs, "
+        f"{obs.tracer.open_spans()} span(s) left open)"
+    )
+    print(
+        f"next: python -m repro trace export {args.output} "
+        f"--output trace.chrome.json"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import trajectory as traj
+
+    names = [name for name in args.names.split(",") if name]
+    if not names:
+        print("--names needs at least one benchmark name", file=sys.stderr)
+        return 2
+    try:
+        histories = traj.report(names, repo_root=args.repo_root)
+    except traj.TrajectoryError as exc:
+        # Non-blocking by design: trajectory is a reporting aid, and CI
+        # smokes must not fail on shallow clones or missing git.
+        print(f"[trajectory] unavailable: {exc}", file=sys.stderr)
+        return 0
+    for name in names:
+        entries = histories[name]
+        if not entries:
+            print(f"\nBENCH_{name}.json: no committed throughput history")
+            continue
+        print_table(
+            f"BENCH_{name}.json: events/sec across commits",
+            ("commit", "date", "subject", "events/sec", "delta"),
+            traj.trajectory_rows(entries),
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(traj.format_markdown(histories))
+            handle.write("\n")
+        print(f"\nwrote markdown report to {args.output}")
     return 0
 
 
@@ -664,6 +844,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="bootstrap resamples (default: 2000)",
     )
+    study_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run with REPRO_OBS=1 and print per-phase wall-time and "
+            "counter tables after each study"
+        ),
+    )
     _add_runner_arguments(study_parser)
     study_parser.set_defaults(handler=_cmd_study)
 
@@ -738,6 +926,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="capture a structured event trace / export it for Perfetto",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="action", required=True)
+    capture_parser = trace_sub.add_parser(
+        "capture",
+        help="run one instrumented simulation and write a JSONL trace",
+    )
+    capture_parser.add_argument(
+        "--kind",
+        choices=("centralized", "decentralized"),
+        default="decentralized",
+    )
+    capture_parser.add_argument(
+        "--system",
+        default="hopper",
+        help="system / policy name for the chosen kind (default: hopper)",
+    )
+    capture_parser.add_argument(
+        "--profile",
+        default="spark-facebook",
+        help="workload profile name (default: spark-facebook)",
+    )
+    capture_parser.add_argument("--num-jobs", type=int, default=50)
+    capture_parser.add_argument("--total-slots", type=int, default=200)
+    capture_parser.add_argument("--utilization", type=float, default=0.7)
+    capture_parser.add_argument("--seed", type=int, default=42)
+    capture_parser.add_argument("--run-seed", type=int, default=7)
+    capture_parser.add_argument(
+        "--speculation",
+        choices=("late", "mantri", "grass", "none"),
+        default="late",
+    )
+    capture_parser.add_argument(
+        "--output",
+        default="trace.jsonl",
+        metavar="PATH",
+        help="JSONL trace destination (default: trace.jsonl)",
+    )
+    capture_parser.set_defaults(handler=_cmd_trace)
+    export_parser = trace_sub.add_parser(
+        "export",
+        help=(
+            "convert a JSONL trace to Chrome chrome://tracing / Perfetto "
+            "JSON"
+        ),
+    )
+    export_parser.add_argument("input", metavar="TRACE.jsonl")
+    export_parser.add_argument(
+        "--output",
+        default="trace.chrome.json",
+        metavar="PATH",
+        help="Chrome trace destination (default: trace.chrome.json)",
+    )
+    export_parser.set_defaults(handler=_cmd_trace)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark reporting helpers"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="action", required=True)
+    trajectory_parser = bench_sub.add_parser(
+        "trajectory",
+        help=(
+            "render the events/sec trajectory of committed BENCH_*.json "
+            "files across git history"
+        ),
+    )
+    trajectory_parser.add_argument(
+        "--names",
+        default="scale,blacklist,obs",
+        metavar="N1,N2,...",
+        help="comma-separated bench names (default: scale,blacklist,obs)",
+    )
+    trajectory_parser.add_argument(
+        "--repo-root",
+        default=".",
+        metavar="DIR",
+        help="git repository to read history from (default: .)",
+    )
+    trajectory_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write a Markdown report to PATH",
+    )
+    trajectory_parser.set_defaults(handler=_cmd_bench)
     return parser
 
 

@@ -43,6 +43,11 @@ class Blacklist:
         self._strikes: Dict[int, int] = {}
         self._strike_times: Dict[int, Deque[float]] = {}
         self._blacklisted: Set[int] = set()
+        #: Lifetime strike totals per machine. Unlike the active strike
+        #: state, these survive reinstatement (``remove`` wipes the
+        #: counting window, not the record) — they are diagnostics, not
+        #: policy inputs, surfaced as ``SimulationResult.machine_strikes``.
+        self.strike_totals: Dict[int, int] = {}
 
     @property
     def blacklisted_machines(self) -> Set[int]:
@@ -81,6 +86,8 @@ class Blacklist:
         the machine just crossed the blacklisting threshold."""
         if machine_id in self._blacklisted:
             return False
+        totals = self.strike_totals
+        totals[machine_id] = totals.get(machine_id, 0) + 1
         if self.strike_window is None:
             count = self._strikes.get(machine_id, 0) + 1
             self._strikes[machine_id] = count

@@ -79,6 +79,11 @@ class BlacklistPolicy(ABC):
         """
         return []
 
+    def strike_totals(self) -> Dict[int, int]:
+        """Lifetime strikes per machine id (diagnostics; never reset by
+        reinstatement). Default: no strike bookkeeping."""
+        return {}
+
 
 class StrikeBlacklistPolicy(BlacklistPolicy):
     """Evict machines that accumulate strikes within a sliding window.
@@ -187,6 +192,9 @@ class StrikeBlacklistPolicy(BlacklistPolicy):
             self.blacklist.remove(machine_id)
             self.reinstatements.append((now, machine_id))
         return due
+
+    def strike_totals(self) -> Dict[int, int]:
+        return dict(self.blacklist.strike_totals)
 
 
 def evaluate_completion(

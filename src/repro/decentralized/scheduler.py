@@ -78,6 +78,7 @@ class SchedulerAgent:
             config.worker_policy is WorkerPolicy.HOPPER
         )
         self._send = sim.send
+        self._counters = sim._counters  # None unless observability is on
 
     # -- job lifecycle -----------------------------------------------------
 
@@ -129,6 +130,8 @@ class SchedulerAgent:
         send = self.sim.send
         for worker in workers:
             send(worker.on_request, request)
+        if self._counters is not None:
+            self._counters.inc("probe.sent", len(workers))
         sj.last_activity = now
 
     def _send_baseline_spec_probes(self, sj: SchedulerJob) -> None:
@@ -337,4 +340,6 @@ class SchedulerAgent:
         request = Request(gossip=sj.gossip, enqueue_time=now, spec_ok=True)
         for worker in workers:
             self.sim.send(worker.on_request, request)
+        if self._counters is not None:
+            self._counters.inc("probe.sent", len(workers))
         sj.last_activity = now

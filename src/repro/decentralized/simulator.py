@@ -45,6 +45,7 @@ from repro.decentralized.worker import Worker
 from repro.estimation.alpha import AlphaEstimator
 from repro.estimation.beta import OnlineBetaEstimator
 from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.obs import Obs
 from repro.runtime import CopyLedger
 from repro.simulation.engine import Simulator
 from repro.simulation.rng import RandomSource
@@ -84,6 +85,7 @@ class DecentralizedSimulator:
         random_source: Optional[RandomSource] = None,
         name: Optional[str] = None,
         blacklist_policy: Optional[BlacklistPolicy] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -95,8 +97,13 @@ class DecentralizedSimulator:
         self.straggler_model = straggler_model
         self.random_source = random_source or RandomSource(seed=0)
         self.rng = self.random_source.child("decentralized").rng
+        # Observability handles must exist before workers/schedulers are
+        # constructed below — they snapshot these attributes.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        self._counters = obs.counters if obs is not None else None
 
-        self.sim = Simulator()
+        self.sim = Simulator(obs=obs)
         self.metrics = MetricsCollector(
             scheduler_name=name or f"decentralized-{self.config.worker_policy.value}"
         )
@@ -117,7 +124,9 @@ class DecentralizedSimulator:
             for i in range(self.config.num_schedulers)
         ]
         self._owner: Dict[int, SchedulerAgent] = {}
-        self.ledger = CopyLedger(self.sim, self.metrics, self.beta_estimator)
+        self.ledger = CopyLedger(
+            self.sim, self.metrics, self.beta_estimator, tracer=self._tracer
+        )
         self._next_scheduler = 0
         self._active_jobs = 0
         self._spec_check_scheduled = False
@@ -161,18 +170,25 @@ class DecentralizedSimulator:
         # read directly: this runs once per control message.
         time = sim._now + self._message_delay
         batch = self._open_batch
+        counters = self._counters
         if (
             batch is not None
             and self._open_batch_time == time
             and sim._seq == self._open_batch_seq
         ):
             batch.append((fn, args))
+            if counters is not None:
+                counters.inc("msg.sent")
+                counters.inc("msg.coalesced")
             return
         batch = [(fn, args)]
         self._open_batch = batch
         self._open_batch_time = time
         sim.schedule_at(time, self._deliver_batch, batch)
         self._open_batch_seq = sim._seq
+        if counters is not None:
+            counters.inc("msg.sent")
+            counters.inc("msg.batches")
 
     def _deliver_batch(
         self, batch: List[Tuple[Callable[..., None], tuple]]
@@ -252,9 +268,26 @@ class DecentralizedSimulator:
             absolute=True,
         )
         self.sim.run(until=until)
+        self._finalize_diagnostics()
         return self.metrics.result
 
+    def _finalize_diagnostics(self) -> None:
+        result = self.metrics.result
+        if self.blacklist_policy is not None:
+            result.machine_strikes = self.blacklist_policy.strike_totals()
+        if self.obs is not None:
+            result.obs = self.obs.report()
+
     def _on_job_arrival(self, job: Job) -> None:
+        if self._tracer is not None:
+            self._tracer.begin(
+                "job",
+                "job",
+                ("job", job.job_id),
+                self.sim.now,
+                job=job.job_id,
+                tasks=job.num_tasks,
+            )
         scheduler = self.schedulers[self._next_scheduler]
         self._next_scheduler = (self._next_scheduler + 1) % len(self.schedulers)
         self._owner[job.job_id] = scheduler
@@ -369,9 +402,16 @@ class DecentralizedSimulator:
 
     def _observe_blacklist(self, copy: TaskCopy, sj: SchedulerJob) -> None:
         """Feed one completion to the eviction policy and act on it."""
-        reinstated, evict = evaluate_completion(
-            self.blacklist_policy, self.sim.now, copy, sj.view
-        )
+        obs = self.obs
+        if obs is None:
+            reinstated, evict = evaluate_completion(
+                self.blacklist_policy, self.sim.now, copy, sj.view
+            )
+        else:
+            with obs.timers.phase("policy.evaluate_completion"):
+                reinstated, evict = evaluate_completion(
+                    self.blacklist_policy, self.sim.now, copy, sj.view
+                )
         for worker_id in reinstated:
             self._reinstate_worker(worker_id)
         if evict is not None:
@@ -401,17 +441,42 @@ class DecentralizedSimulator:
             # earlier eviction while the speculative sibling carried it.
             if sj.view.num_live_copies(task) == 0:
                 scheduler.requeue_task(sj, task)
+        self.metrics.record_eviction()
+        obs = self.obs
+        if obs is not None:
+            obs.counters.inc("blacklist.evictions")
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "blacklist", "evict", self.sim.now, machine=worker_id,
+                    victims=len(victims),
+                )
 
     def _reinstate_worker(self, worker_id: int) -> None:
         """Probation served: the worker rejoins the probe pool."""
         self.workers[worker_id].reinstate()
         self.cluster.blacklist.remove(worker_id)
         self._apply_blacklist()
+        self.metrics.record_reinstatement()
+        obs = self.obs
+        if obs is not None:
+            obs.counters.inc("blacklist.reinstatements")
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "blacklist", "reinstate", self.sim.now, machine=worker_id
+                )
 
     def _apply_blacklist(self) -> None:
         """Propagate the blacklist through the shared cluster substrate
         (machine flags + index rebuild), refresh the probe sample pool,
         and resize the schedulers' ε-fair floors."""
+        obs = self.obs
+        if obs is None:
+            self._rebuild_cluster_state()
+        else:
+            with obs.timers.phase("index.rebuild"):
+                self._rebuild_cluster_state()
+
+    def _rebuild_cluster_state(self) -> None:
         cluster = self.cluster
         cluster.apply_blacklist()
         workers = self.workers

@@ -61,6 +61,8 @@ class Worker:
         "evicted",
         "_policy",
         "_refusal_threshold",
+        "_result",
+        "_counters",
     )
 
     def __init__(
@@ -81,6 +83,10 @@ class Worker:
         # per-episode-step scalars.
         self._policy = sim.config.worker_policy
         self._refusal_threshold = sim.config.refusal_threshold
+        # Drop accounting: requests that can never be honoured (evicted
+        # target, completed job) are counted instead of vanishing.
+        self._result = sim.metrics.result
+        self._counters = sim._counters  # None unless observability is on
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -98,11 +104,20 @@ class Worker:
         removed = before - len(self.queue)
         if removed:
             self.sim.note_requests_removed(job_id, self.worker_id, removed)
+            self._result.requests_dropped += removed
+            if self._counters is not None:
+                self._counters.inc("probe.purged", removed)
 
     def drop_completed_job(self, job_id: int) -> None:
         """Index-driven purge on job completion (index entry already
         removed by the caller, so no unregistration here)."""
+        before = len(self.queue)
         self.queue = [r for r in self.queue if r.job_id != job_id]
+        removed = before - len(self.queue)
+        if removed:
+            self._result.requests_dropped += removed
+            if self._counters is not None:
+                self._counters.inc("probe.purged", removed)
 
     def consume_request(self, request: Request) -> None:
         """Remove this exact queued request (on task assignment)."""
@@ -111,6 +126,8 @@ class Worker:
         except ValueError:
             return
         self.sim.note_requests_removed(request.job_id, self.worker_id)
+        if self._counters is not None:
+            self._counters.inc("probe.consumed")
 
     def evict(self) -> List[TaskCopy]:
         """Blacklist this worker mid-run (the §2.2 eviction path).
@@ -124,6 +141,11 @@ class Worker:
         self.evicted = True
         for request in self.queue:
             self.sim.note_requests_removed(request.job_id, self.worker_id)
+        dropped = len(self.queue)
+        if dropped:
+            self._result.requests_dropped += dropped
+            if self._counters is not None:
+                self._counters.inc("probe.purged", dropped)
         self.queue.clear()
         return list(self.running)
 
@@ -136,10 +158,21 @@ class Worker:
     def on_request(self, request: Request) -> None:
         """A reservation request arrives (after network delay)."""
         if self.evicted:
-            return  # raced the eviction; the probe is simply lost
+            # Raced the eviction: the probe is lost — but counted.
+            self._result.requests_dropped += 1
+            if self._counters is not None:
+                self._counters.inc("probe.dropped")
+            return
         if request.gossip.active:
             self.queue.append(request)
             self.sim.note_request_queued(request.job_id, self.worker_id)
+            if self._counters is not None:
+                self._counters.inc("probe.queued")
+        else:
+            # Raced job completion: dropped on arrival, counted.
+            self._result.requests_dropped += 1
+            if self._counters is not None:
+                self._counters.inc("probe.dropped")
         # A request that raced job completion is dropped, but may still
         # wake the slot: with lazy purging its arrival would have
         # triggered the same episode scan.

@@ -21,6 +21,7 @@ from repro.cluster.policy import BlacklistPolicy
 from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.simulator import DecentralizedSimulator
 from repro.metrics.collector import SimulationResult
+from repro.obs import Obs, obs_from_env
 from repro.simulation.rng import RandomSource
 from repro.speculation import make_speculation_policy
 from repro.stragglers.model import ParetoRedrawStragglerModel, StragglerModel
@@ -142,6 +143,17 @@ def _resolve_blacklist_policy(
     return blacklist_policy
 
 
+#: Sentinel: "the caller did not choose" — consult ``REPRO_OBS``. An
+#: explicit ``obs=None`` forces observability off regardless of env.
+_OBS_FROM_ENV = object()
+
+
+def _resolve_obs(obs) -> Optional[Obs]:
+    if obs is _OBS_FROM_ENV:
+        return obs_from_env()
+    return obs
+
+
 def run_centralized(
     trace: Trace,
     policy: str,
@@ -159,6 +171,7 @@ def run_centralized(
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
+    obs=_OBS_FROM_ENV,
 ) -> SimulationResult:
     """Replay ``trace`` under one centralized policy.
 
@@ -209,6 +222,7 @@ def run_centralized(
             strike_window=strike_window,
             eviction_cap=eviction_cap,
         ),
+        obs=_resolve_obs(obs),
     )
     return simulator.run()
 
@@ -230,6 +244,7 @@ def run_decentralized(
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
+    obs=_OBS_FROM_ENV,
 ) -> SimulationResult:
     """Replay ``trace`` under one decentralized system.
 
@@ -269,5 +284,6 @@ def run_decentralized(
             strike_window=strike_window,
             eviction_cap=eviction_cap,
         ),
+        obs=_resolve_obs(obs),
     )
     return simulator.run(until=until)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.workload.generator import bin_index_for_size
 
@@ -50,6 +50,30 @@ class SimulationResult:
     messages_sent: int = 0
     guideline2_decisions: int = 0
     guideline3_decisions: int = 0
+
+    # diagnostics (PR 5/6 follow-ons). Maintained in memory on every
+    # run; serialized only under the schema-2 "obs" section when
+    # observability is enabled, so obs-off documents — and therefore
+    # every pinned golden digest — stay byte-identical to schema 1.
+    # ``compare=False`` keeps them out of result equality for the same
+    # reason: they are best-effort debugging aids that do not survive a
+    # schema-1 round trip (a fresh run and its cached replay must still
+    # compare equal).
+    #: Queued probe requests dropped because their target was dead,
+    #: evicted, or their job already complete (decentralized plane).
+    requests_dropped: int = field(default=0, compare=False)
+    #: Machines/workers evicted by the blacklist policy during the run.
+    evictions: int = field(default=0, compare=False)
+    #: Evicted machines/workers returned to service during the run.
+    reinstatements: int = field(default=0, compare=False)
+    #: Lifetime straggler-strike totals per machine id (never reset,
+    #: even when an eviction clears the policy's active strike window).
+    machine_strikes: Dict[int, int] = field(
+        default_factory=dict, compare=False
+    )
+    #: Observability report (counters + phase timers) attached at the
+    #: end of an instrumented run; ``None`` on uninstrumented runs.
+    obs: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def job_by_id(self) -> Dict[int, JobRecord]:
         return {r.job_id: r for r in self.jobs}
@@ -145,3 +169,12 @@ class MetricsCollector:
             self.result.guideline2_decisions += 1
         else:
             self.result.guideline3_decisions += 1
+
+    def record_request_dropped(self, count: int = 1) -> None:
+        self.result.requests_dropped += count
+
+    def record_eviction(self) -> None:
+        self.result.evictions += 1
+
+    def record_reinstatement(self) -> None:
+        self.result.reinstatements += 1

@@ -5,6 +5,20 @@ runner ships them back from worker processes as plain dicts) and persist
 on disk (the sweep result cache). The format is a versioned, flat JSON
 document so cached results survive unrelated code changes and can be
 inspected with standard tools.
+
+Versioning policy: documents are written at the **lowest schema version
+that can represent them**. A result without an observability report
+serializes exactly as schema 1 — byte-identical to every document the
+pre-obs code wrote, which is what keeps the pinned golden digests valid.
+A result carrying ``result.obs`` serializes as schema 2, which nests
+the diagnostics (counters, timers, drop/eviction accounting, per-machine
+strike totals) under one ``"obs"`` key. Readers accept both versions.
+
+One deliberate asymmetry follows: the diagnostic fields on an
+*uninstrumented* result (``requests_dropped`` etc. are maintained in
+memory on every run) do not survive a serialization round trip — they
+are best-effort debugging aids, not results, and persisting them would
+break digest stability.
 """
 
 from __future__ import annotations
@@ -15,13 +29,29 @@ from typing import Any, Dict
 
 from repro.metrics.collector import JobRecord, SimulationResult
 
-#: Bump when the serialized layout changes incompatibly. Readers reject
-#: documents with a different major schema.
-SCHEMA_VERSION = 1
+#: Highest schema version this code writes and reads. Version 2 adds
+#: the optional nested ``"obs"`` diagnostics section; version 1 is the
+#: frozen flat layout every golden digest was captured against.
+SCHEMA_VERSION = 2
+
+#: Every version :func:`result_from_dict` accepts.
+READABLE_SCHEMA_VERSIONS = (1, 2)
+
+#: Diagnostic fields serialized inside the schema-2 ``"obs"`` section
+#: (and never as top-level scalars — see the versioning policy above).
+_OBS_SECTION_FIELDS = (
+    "requests_dropped",
+    "evictions",
+    "reinstatements",
+    "machine_strikes",
+    "obs",
+)
 
 _JOB_FIELDS = tuple(f.name for f in dataclasses.fields(JobRecord))
 _RESULT_SCALAR_FIELDS = tuple(
-    f.name for f in dataclasses.fields(SimulationResult) if f.name != "jobs"
+    f.name
+    for f in dataclasses.fields(SimulationResult)
+    if f.name != "jobs" and f.name not in _OBS_SECTION_FIELDS
 )
 
 
@@ -36,10 +66,28 @@ def job_record_from_dict(data: Dict[str, Any]) -> JobRecord:
 
 
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """Plain-dict form of a :class:`SimulationResult` (JSON-safe)."""
-    doc: Dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+    """Plain-dict form of a :class:`SimulationResult` (JSON-safe).
+
+    ``result.obs is None`` selects the frozen schema-1 layout;
+    otherwise the document is schema 2 with the diagnostics nested
+    under ``"obs"`` (strike-total keys become strings for JSON).
+    """
+    version = 1 if result.obs is None else 2
+    doc: Dict[str, Any] = {"schema_version": version}
     for name in _RESULT_SCALAR_FIELDS:
         doc[name] = getattr(result, name)
+    if version >= 2:
+        doc["obs"] = {
+            "counters": result.obs.get("counters", {}),
+            "timers": result.obs.get("timers", {}),
+            "requests_dropped": result.requests_dropped,
+            "evictions": result.evictions,
+            "reinstatements": result.reinstatements,
+            "machine_strikes": {
+                str(machine): strikes
+                for machine, strikes in sorted(result.machine_strikes.items())
+            },
+        }
     doc["jobs"] = [job_record_to_dict(r) for r in result.jobs]
     return doc
 
@@ -49,19 +97,33 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
 
     Unknown scalar fields are ignored and missing ones fall back to the
     dataclass defaults, so documents written by slightly older or newer
-    versions of the code still load when the schema version matches.
+    versions of the code still load when the schema version is readable.
     """
-    version = data.get("schema_version", SCHEMA_VERSION)
-    if version != SCHEMA_VERSION:
+    version = data.get("schema_version", 1)
+    if version not in READABLE_SCHEMA_VERSIONS:
         raise ValueError(
             f"unsupported result schema version {version!r} "
-            f"(expected {SCHEMA_VERSION})"
+            f"(expected one of {READABLE_SCHEMA_VERSIONS})"
         )
     kwargs = {
         name: data[name] for name in _RESULT_SCALAR_FIELDS if name in data
     }
     jobs = [job_record_from_dict(d) for d in data.get("jobs", [])]
-    return SimulationResult(jobs=jobs, **kwargs)
+    result = SimulationResult(jobs=jobs, **kwargs)
+    section = data.get("obs")
+    if version >= 2 and isinstance(section, dict):
+        result.requests_dropped = section.get("requests_dropped", 0)
+        result.evictions = section.get("evictions", 0)
+        result.reinstatements = section.get("reinstatements", 0)
+        result.machine_strikes = {
+            int(machine): strikes
+            for machine, strikes in section.get("machine_strikes", {}).items()
+        }
+        result.obs = {
+            "counters": section.get("counters", {}),
+            "timers": section.get("timers", {}),
+        }
+    return result
 
 
 def dumps_result(result: SimulationResult, **json_kwargs: Any) -> str:

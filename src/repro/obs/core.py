@@ -1,0 +1,276 @@
+"""Core observability primitives: Tracer, Counters, PhaseTimers, Obs.
+
+Design constraints (shared with the engine hot path):
+
+* **Zero cost when off.** Instrumented call sites hold a local
+  ``tracer``/``counters`` reference and guard with one ``is not None``
+  check. No wrapper objects, no no-op method calls, no closures on the
+  hot path.
+* **Sim-time records, wall-time timers.** Trace records carry simulated
+  seconds (deterministic, golden-checkable); phase timers carry
+  ``perf_counter`` wall seconds (profiling, never golden-checked).
+* **Plain dicts end to end.** Records serialize as JSONL and convert to
+  the Chrome ``chrome://tracing`` / Perfetto JSON format without any
+  intermediate object model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional
+
+#: Environment variable consulted by :func:`obs_from_env`. Any value
+#: other than empty/``0``/``false``/``no`` enables counters and timers
+#: for harness-driven runs (tracing stays explicit — traces are big).
+OBS_ENV = "REPRO_OBS"
+
+_FALSY = ("", "0", "false", "no")
+
+
+class Counters:
+    """Named monotonic counters, stored as a flat dict."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, count: int = 1) -> None:
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + count
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class PhaseTimers:
+    """Accumulating wall-time timers keyed by phase name.
+
+    Each phase accumulates ``{"calls": n, "seconds": s}``. Use
+    :meth:`phase` as a context manager around a block, or :meth:`add`
+    when the caller already measured the interval (hot sites prefer
+    ``add`` — it avoids the context-manager frames).
+    """
+
+    __slots__ = ("_calls", "_seconds")
+
+    def __init__(self) -> None:
+        self._calls: Dict[str, int] = {}
+        self._seconds: Dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self._calls[name] = self._calls.get(name, 0) + 1
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"calls": self._calls[name], "seconds": self._seconds[name]}
+            for name in sorted(self._calls)
+        }
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+
+class Tracer:
+    """Structured event tracer: spans (intervals) and instants.
+
+    Spans are opened with :meth:`begin` under a hashable key (e.g.
+    ``("job", 3)`` or ``("copy", 17)``) and closed with :meth:`end`; the
+    completed record is appended only at end time, so ``records`` is
+    ordered by *completion*. Instants append immediately. All
+    timestamps are simulated seconds.
+
+    Record shapes (plain dicts, one JSON object per JSONL line)::
+
+        {"ev": "span",    "cat": ..., "name": ..., "t0": ..., "t1": ..., "args": {...}}
+        {"ev": "instant", "cat": ..., "name": ..., "t": ...,  "args": {...}}
+    """
+
+    __slots__ = ("records", "_open")
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self._open: Dict[Hashable, tuple] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def instant(self, cat: str, name: str, t: float, **args: Any) -> None:
+        self.records.append(
+            {"ev": "instant", "cat": cat, "name": name, "t": t, "args": args}
+        )
+
+    def begin(
+        self, cat: str, name: str, key: Hashable, t: float, **args: Any
+    ) -> None:
+        self._open[key] = (cat, name, t, args)
+
+    def end(self, key: Hashable, t: float, **args: Any) -> None:
+        entry = self._open.pop(key, None)
+        if entry is None:
+            return  # span never opened (e.g. run truncated) — drop quietly
+        cat, name, t0, open_args = entry
+        if args:
+            open_args = {**open_args, **args}
+        self.records.append(
+            {
+                "ev": "span",
+                "cat": cat,
+                "name": name,
+                "t0": t0,
+                "t1": t,
+                "args": open_args,
+            }
+        )
+
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (non-zero after truncated runs)."""
+        return len(self._open)
+
+    # -- serialization ---------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON record per line; returns the record count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        return len(self.records)
+
+    @staticmethod
+    def read_jsonl(path: str) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    @staticmethod
+    def chrome_trace(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Convert records to Chrome ``chrome://tracing`` / Perfetto JSON.
+
+        Spans become complete events (``ph: "X"``), instants become
+        instant events (``ph: "i"``). Timestamps are microseconds
+        (simulated seconds x 1e6). Rows (``tid``) group by machine when
+        the record names one, else by job, so copy placement and
+        eviction churn line up visually per machine.
+        """
+        events: List[Dict[str, Any]] = []
+        for record in records:
+            args = record.get("args", {})
+            tid = args.get("machine")
+            if tid is None:
+                tid = args.get("job", 0)
+            common = {
+                "cat": record["cat"],
+                "name": record["name"],
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+            if record["ev"] == "span":
+                t0 = record["t0"]
+                events.append(
+                    {
+                        **common,
+                        "ph": "X",
+                        "ts": t0 * 1e6,
+                        "dur": (record["t1"] - t0) * 1e6,
+                    }
+                )
+            else:
+                events.append(
+                    {**common, "ph": "i", "ts": record["t"] * 1e6, "s": "g"}
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class Obs:
+    """Bundle of observability sinks handed to a simulator.
+
+    ``counters`` and ``timers`` always exist on a bundle (they are
+    cheap); ``tracer`` is itself optional because traces grow with event
+    count. Simulators snapshot the three into local attributes so hot
+    sites pay exactly one ``is not None`` per guarded block.
+    """
+
+    __slots__ = ("tracer", "counters", "timers")
+
+    def __init__(
+        self, trace: bool = False, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if trace else None
+        )
+        self.counters = Counters()
+        self.timers = PhaseTimers()
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe summary attached to ``SimulationResult.obs``."""
+        return {
+            "counters": self.counters.as_dict(),
+            "timers": self.timers.as_dict(),
+        }
+
+
+def obs_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[Obs]:
+    """Build an :class:`Obs` from ``REPRO_OBS``, or ``None`` when unset.
+
+    Counters and timers only — tracing via environment variable would
+    silently accumulate unbounded record lists in sweep workers.
+    """
+    raw = (environ if environ is not None else os.environ).get(OBS_ENV, "")
+    if raw.strip().lower() in _FALSY:
+        return None
+    return Obs()
+
+
+def aggregate_timers(
+    reports: Iterable[Optional[Mapping[str, Any]]],
+) -> Dict[str, Dict[str, float]]:
+    """Merge the ``timers`` sections of many ``SimulationResult.obs``
+    reports (``None`` entries are skipped)."""
+    calls: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    for report in reports:
+        if not report:
+            continue
+        for name, cell in report.get("timers", {}).items():
+            calls[name] = calls.get(name, 0) + int(cell["calls"])
+            seconds[name] = seconds.get(name, 0.0) + float(cell["seconds"])
+    return {
+        name: {"calls": calls[name], "seconds": seconds[name]}
+        for name in sorted(calls)
+    }
+
+
+def aggregate_counters(
+    reports: Iterable[Optional[Mapping[str, Any]]],
+) -> Dict[str, int]:
+    """Merge the ``counters`` sections of many obs reports."""
+    totals: Dict[str, int] = {}
+    for report in reports:
+        if not report:
+            continue
+        for name, value in report.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return dict(sorted(totals.items()))

@@ -1,0 +1,156 @@
+"""Benchmark trajectory: events/sec across the committed PR history.
+
+Every perf-bearing PR commits a refreshed ``BENCH_<name>.json`` at the
+repo root, so git history *is* the performance trajectory — one data
+point per commit that touched the file. This module replays that
+history (``git log`` + ``git show``) and renders it as a table, used by
+``repro bench trajectory`` and ``benchmarks/report_trajectory.py`` and
+uploaded as a non-blocking CI artifact.
+
+Only documents carrying an ``aggregate.events_per_sec`` section (the
+throughput benchmarks: scale, blacklist, obs) yield throughput points;
+table-mirror documents are skipped per-commit rather than failing the
+whole report.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Default benchmark names to include in a trajectory report.
+DEFAULT_BENCH_NAMES = ("scale", "blacklist", "obs")
+
+
+class TrajectoryError(RuntimeError):
+    """Raised when git history cannot be read (no git, shallow clone...)."""
+
+
+def _git(args: Sequence[str], repo_root: str) -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "-C", repo_root, *args],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except FileNotFoundError as exc:
+        raise TrajectoryError("git executable not found") from exc
+    except subprocess.CalledProcessError as exc:
+        stderr = (exc.stderr or "").strip()
+        raise TrajectoryError(
+            f"git {' '.join(args[:2])} failed: {stderr or exc}"
+        ) from exc
+    return completed.stdout
+
+
+def bench_history(
+    name: str, repo_root: str = ".", limit: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Per-commit throughput points for ``BENCH_<name>.json``, oldest first.
+
+    Each entry: ``{"commit", "date", "subject", "events_per_sec",
+    "per_system": {system: events_per_sec}}``. Commits where the file
+    does not parse or carries no aggregate are skipped.
+    """
+    path = f"BENCH_{name}.json"
+    log = _git(
+        ["log", "--reverse", "--format=%H%x09%cs%x09%s", "--", path],
+        repo_root,
+    )
+    entries: List[Dict[str, Any]] = []
+    for line in log.splitlines():
+        sha, _, rest = line.partition("\t")
+        date, _, subject = rest.partition("\t")
+        try:
+            blob = _git(["show", f"{sha}:{path}"], repo_root)
+            doc = json.loads(blob)
+        except (TrajectoryError, ValueError):
+            continue  # file deleted/renamed/unparseable at this commit
+        aggregate = doc.get("aggregate") if isinstance(doc, dict) else None
+        if not isinstance(aggregate, dict):
+            continue  # table-mirror document: no throughput point
+        rate = aggregate.get("events_per_sec")
+        if rate is None:
+            continue
+        entries.append(
+            {
+                "commit": sha[:10],
+                "date": date,
+                "subject": subject,
+                "events_per_sec": float(rate),
+                "per_system": {
+                    system: float(cell.get("events_per_sec", 0.0))
+                    for system, cell in doc.get("per_system", {}).items()
+                },
+            }
+        )
+    if limit is not None and limit > 0:
+        entries = entries[-limit:]
+    return entries
+
+
+def trajectory_rows(entries: Sequence[Dict[str, Any]]) -> List[List[str]]:
+    """Table rows ``[commit, date, subject, events/sec, delta]`` with a
+    percentage delta against the previous point."""
+    rows: List[List[str]] = []
+    previous: Optional[float] = None
+    for entry in entries:
+        rate = entry["events_per_sec"]
+        if previous is None or previous <= 0:
+            delta = "—"
+        else:
+            delta = f"{(rate / previous - 1.0) * 100.0:+.1f}%"
+        subject = entry["subject"]
+        if len(subject) > 48:
+            subject = subject[:45] + "..."
+        rows.append(
+            [entry["commit"], entry["date"], subject, f"{rate:,.0f}", delta]
+        )
+        previous = rate
+    return rows
+
+
+def format_markdown(
+    histories: Dict[str, Sequence[Dict[str, Any]]],
+) -> str:
+    """Render per-benchmark trajectories as a Markdown report."""
+    lines: List[str] = ["# Benchmark trajectory", ""]
+    for name in sorted(histories):
+        entries = histories[name]
+        lines.append(f"## BENCH_{name}.json")
+        lines.append("")
+        if not entries:
+            lines.append("_no committed history with throughput data_")
+            lines.append("")
+            continue
+        lines.append("| commit | date | subject | events/sec | delta |")
+        lines.append("| --- | --- | --- | ---: | ---: |")
+        for row in trajectory_rows(entries):
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def report(
+    names: Sequence[str] = DEFAULT_BENCH_NAMES,
+    repo_root: str = ".",
+    limit: Optional[int] = None,
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Collect histories for ``names`` (missing histories come back
+    empty rather than raising — a bench may not exist in old commits)."""
+    return {
+        name: bench_history(name, repo_root=repo_root, limit=limit)
+        for name in names
+    }
+
+
+__all__ = [
+    "DEFAULT_BENCH_NAMES",
+    "TrajectoryError",
+    "bench_history",
+    "format_markdown",
+    "report",
+    "trajectory_rows",
+]

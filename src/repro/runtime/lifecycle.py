@@ -27,15 +27,32 @@ from repro.workload.task import Task, TaskState
 
 
 class CopyLedger:
-    """Copy identity + lifecycle bookkeeping for one simulator run."""
+    """Copy identity + lifecycle bookkeeping for one simulator run.
 
-    __slots__ = ("engine", "metrics", "beta_estimator", "events", "_next_copy_id")
+    The ledger is the single chokepoint every copy transition passes
+    through on both planes, which makes it the natural tracing surface:
+    with a :class:`repro.obs.Tracer` attached, it emits one ``copy``
+    span per task copy (launch → finish/kill, tagged with the race
+    outcome), a ``spec.win`` instant when a speculative copy wins, and
+    closes the per-job span opened by the simulator at arrival. Without
+    one, every hook is a single ``is not None`` check.
+    """
+
+    __slots__ = (
+        "engine",
+        "metrics",
+        "beta_estimator",
+        "events",
+        "_next_copy_id",
+        "tracer",
+    )
 
     def __init__(
         self,
         engine: Simulator,
         metrics: MetricsCollector,
         beta_estimator: OnlineBetaEstimator,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.metrics = metrics
@@ -43,6 +60,7 @@ class CopyLedger:
         #: copy id -> pending finish-event handle
         self.events: Dict[int, EventHandle] = {}
         self._next_copy_id = 0
+        self.tracer = tracer
 
     # -- launch -------------------------------------------------------------
 
@@ -73,6 +91,18 @@ class CopyLedger:
             duration, on_finish, copy, *finish_args
         )
         self.metrics.record_copy_launch(speculative=speculative, local=local)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(
+                "copy",
+                "spec" if speculative else "task",
+                ("copy", copy.copy_id),
+                copy.start_time,
+                job=task.job_id,
+                task=task.task_id,
+                machine=machine_id,
+                speculative=speculative,
+            )
         return copy
 
     # -- finish -------------------------------------------------------------
@@ -90,6 +120,19 @@ class CopyLedger:
         self.metrics.record_copy_finished(
             copy.duration, speculative_win=copy.speculative and won
         )
+        tracer = self.tracer
+        if tracer is not None:
+            now = self.engine.now
+            tracer.end(("copy", copy.copy_id), now, won=won)
+            if copy.speculative and won:
+                tracer.instant(
+                    "copy",
+                    "spec.win",
+                    now,
+                    job=copy.task.job_id,
+                    task=copy.task.task_id,
+                    machine=copy.machine_id,
+                )
         return won
 
     def finish(self, copy: TaskCopy, view: JobExecutionView) -> bool:
@@ -113,6 +156,8 @@ class CopyLedger:
         copy.end_time = self.engine.now
         view.remove_copy(copy)
         self.metrics.record_copy_killed(copy.resource_time(self.engine.now))
+        if self.tracer is not None:
+            self.tracer.end(("copy", copy.copy_id), self.engine.now, killed=True)
 
     # -- task / job completion ----------------------------------------------
 
@@ -146,3 +191,5 @@ class CopyLedger:
         )
         if alpha_estimator is not None:
             alpha_estimator.observe_job(job)
+        if self.tracer is not None:
+            self.tracer.end(("job", job.job_id), now, tasks=job.num_tasks)

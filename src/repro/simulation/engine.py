@@ -35,6 +35,7 @@ Example
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 #: Compaction never triggers below this many tombstones (tiny heaps are
@@ -106,6 +107,11 @@ class Simulator:
     ----------
     start_time:
         Initial value of the simulation clock (default 0.0).
+    obs:
+        Optional :class:`repro.obs.Obs` bundle. The engine itself only
+        uses it coarsely — one ``engine.dispatch`` wall-timer sample per
+        :meth:`run` call and an ``engine.compactions`` counter — so the
+        per-event dispatch loop stays untouched either way.
     """
 
     __slots__ = (
@@ -115,9 +121,10 @@ class Simulator:
         "_events_processed",
         "_running",
         "_tombstones",
+        "_obs",
     )
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, obs: Optional[Any] = None) -> None:
         self._now = float(start_time)
         # (time, priority, seq, handle) tuples; seq is unique so the
         # handle component is never compared.
@@ -126,6 +133,7 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._tombstones = 0  # cancelled-but-still-queued entries
+        self._obs = obs
 
     @property
     def now(self) -> float:
@@ -262,6 +270,8 @@ class Simulator:
         self._heap = [entry for entry in heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._tombstones = 0
+        if self._obs is not None:
+            self._obs.counters.inc("engine.compactions")
 
     def run(
         self,
@@ -278,6 +288,8 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         unbounded = until is None and max_events is None
+        obs = self._obs
+        started = _time.perf_counter() if obs is not None else 0.0
         try:
             while heap:
                 entry = heap[0]
@@ -308,6 +320,10 @@ class Simulator:
                     heap = self._heap
         finally:
             self._running = False
+            if obs is not None:
+                obs.timers.add(
+                    "engine.dispatch", _time.perf_counter() - started
+                )
         if until is not None and self._now < until and not heap:
             self._now = until
         elif until is not None and heap and heap[0][0] > until:

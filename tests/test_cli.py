@@ -163,3 +163,70 @@ def test_cache_info_and_clear(tmp_path, capsys):
     assert "entries         : 2" in capsys.readouterr().out
     assert main(["cache", "--clear", "--cache-dir", cache_dir]) == 0
     assert "removed 2" in capsys.readouterr().out
+
+
+def test_trace_capture_and_export(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.jsonl")
+    chrome_path = str(tmp_path / "trace.chrome.json")
+    assert main(
+        [
+            "trace", "capture",
+            "--num-jobs", "8",
+            "--total-slots", "40",
+            "--output", trace_path,
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "trace record(s)" in out
+
+    assert main(
+        ["trace", "export", trace_path, "--output", chrome_path]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "trace event(s)" in out
+    import json
+
+    doc = json.loads(open(chrome_path).read())
+    assert doc["traceEvents"]
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i"}
+
+
+def test_trace_capture_rejects_unknown_system(capsys):
+    assert main(["trace", "capture", "--system", "bogus"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_trace_export_rejects_missing_input(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["trace", "export", missing]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_study_profile_prints_phase_table(capsys, monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert main(
+        ["study", "fig6", "--quick", "--serial", "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "engine.dispatch" in out
+    assert "msg.sent" in out
+    # The env toggle must not leak past the command.
+    assert "REPRO_OBS" not in os.environ
+
+
+def test_bench_trajectory_reports_committed_history(tmp_path, capsys):
+    # The repo's own history carries BENCH_scale.json points.
+    report_path = str(tmp_path / "trajectory.md")
+    assert main(["bench", "trajectory", "--output", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_scale.json" in out
+    assert "# Benchmark trajectory" in open(report_path).read()
+
+
+def test_bench_trajectory_outside_git_is_nonfatal(tmp_path, capsys):
+    assert main(
+        ["bench", "trajectory", "--repo-root", str(tmp_path)]
+    ) == 0
+    assert "unavailable" in capsys.readouterr().err

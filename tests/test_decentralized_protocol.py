@@ -238,3 +238,58 @@ def test_request_defaults_are_spec_eligible():
     g = _gossip(1, 5.0, 4)
     assert Request(g, 0.0).spec_ok is True
     assert Request(g, 0.0).scheduler_id == 0
+
+
+def test_request_conservation_over_a_full_run():
+    """Every reservation request is accounted for: sent probes are
+    queued or dropped-on-arrival; queued probes are consumed (task
+    assigned) or purged (job done / worker evicted); the unconditional
+    ``requests_dropped`` result field covers exactly the losses. Holds
+    with observability on (counters) and off (requests_dropped only)."""
+    from repro.experiments.harness import (
+        WorkloadSpec,
+        build_trace,
+        run_decentralized,
+    )
+    from repro.obs import Obs
+
+    spec = WorkloadSpec(
+        num_jobs=12, utilization=0.6, total_slots=60, seed=5
+    )
+    trace = build_trace(spec)
+    obs = Obs()
+    result = run_decentralized(
+        trace,
+        "hopper",
+        spec,
+        straggler_model="machine-correlated",
+        blacklist_policy="strikes",
+        strike_threshold=3,
+        strike_window=1e9,
+        obs=obs,
+    )
+    counts = obs.counters.as_dict()
+    sent = counts["probe.sent"]
+    queued = counts.get("probe.queued", 0)
+    dropped = counts.get("probe.dropped", 0)
+    consumed = counts.get("probe.consumed", 0)
+    purged = counts.get("probe.purged", 0)
+    assert sent == queued + dropped
+    assert queued == consumed + purged
+    assert result.requests_dropped == dropped + purged
+    # Control-message batching conserves sends too.
+    assert counts["msg.sent"] == (
+        counts.get("msg.batches", 0) + counts.get("msg.coalesced", 0)
+    )
+    # The unconditional field matches an uninstrumented replay exactly.
+    bare = run_decentralized(
+        trace,
+        "hopper",
+        spec,
+        straggler_model="machine-correlated",
+        blacklist_policy="strikes",
+        strike_threshold=3,
+        strike_window=1e9,
+        obs=None,
+    )
+    assert bare.requests_dropped == result.requests_dropped
