@@ -1,0 +1,229 @@
+"""Open-loop serving benchmark: throughput of the streaming regime.
+
+Runs the serving driver (lazy job stream, bounded lookahead, windowed
+steady-state metrics armed) on both scheduler planes across a small
+(slots x rho) grid and reports engine events/sec. This covers the code
+the batch benchmarks never touch — refill events, the per-completion
+windowed-aggregator hooks, the time-average sampling chain — so a
+regression here means the open-loop path itself got slower, not the
+schedulers.
+
+Rows carry ``mode="serving-<rho>"`` so the regression gate's row key
+(system, slots, jobs, probe_ratio, mode) stays unique across rho points
+at the same grid size.
+
+Results land in ``BENCH_serving.json`` (same schema as
+``BENCH_scale.json``), which doubles as the committed baseline the CI
+``perf-smoke`` job gates via ``benchmarks/check_regression.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick
+    PYTHONPATH=src python benchmarks/bench_serving.py --output fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:  # allow plain `python benchmarks/...`
+    sys.path.insert(0, str(_ROOT / "src"))
+if str(_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+from _tables import print_table, write_bench_json  # noqa: E402
+
+#: (total_slots, rho) points; the quick grid is what CI gates.
+FULL_GRID: Sequence[Tuple[int, float]] = ((400, 0.8), (400, 0.9), (1600, 0.9))
+QUICK_GRID: Sequence[Tuple[int, float]] = ((160, 0.8), (160, 0.9))
+
+PLANES = ("decentralized", "centralized")
+PLANE_SYSTEMS = {"decentralized": "hopper", "centralized": "hopper"}
+
+#: Time layout shared by every point: 10 measurement windows plus drain.
+WARMUP = 10.0
+HORIZON = 110.0
+COOLDOWN = 20.0
+WINDOW = 10.0
+MAX_JOBS = 100_000  # injection safety cap, never the binding limit here
+TRACE_SEED = 42
+RUN_SEED = 7
+
+
+def run_once(plane: str, total_slots: int, rho: float) -> Dict[str, Any]:
+    from repro.experiments.harness import WorkloadSpec
+    from repro.serving import ServingRegime, run_serving
+    from repro.workload.generator import profile_by_name
+
+    spec = WorkloadSpec(
+        profile=profile_by_name("spark-facebook"),
+        num_jobs=MAX_JOBS,
+        utilization=rho,
+        total_slots=total_slots,
+        seed=TRACE_SEED,
+    )
+    regime = ServingRegime(
+        warmup=WARMUP, horizon=HORIZON, cooldown=COOLDOWN, window=WINDOW
+    )
+    start = time.perf_counter()
+    result = run_serving(
+        spec,
+        plane,
+        PLANE_SYSTEMS[plane],
+        regime,
+        run_seed=RUN_SEED,
+        obs=None,
+    )
+    wall = time.perf_counter() - start
+    serving = result.serving or {}
+    events = int(serving.get("regime", {}).get("events_processed", 0))
+    return {
+        "system": plane,
+        "total_slots": total_slots,
+        "num_jobs": int(serving.get("regime", {}).get("jobs_offered", 0)),
+        "probe_ratio": None,
+        "mode": f"serving-{rho:g}",
+        "rho": rho,
+        "measured_jobs": serving.get("measured_jobs", 0),
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_benchmark(
+    grid: Sequence[Tuple[int, float]], repeats: int
+) -> List[Dict[str, Any]]:
+    """Best-of-``repeats`` per plane x grid point."""
+    rows: List[Dict[str, Any]] = []
+    for plane in PLANES:
+        for total_slots, rho in grid:
+            best: Optional[Dict[str, Any]] = None
+            for _ in range(repeats):
+                row = run_once(plane, total_slots, rho)
+                if best is None or row["wall_seconds"] < best["wall_seconds"]:
+                    best = row
+            assert best is not None
+            if not best["measured_jobs"]:
+                raise SystemExit(
+                    "serving run measured zero steady-state jobs on "
+                    f"{best['system']} slots={total_slots} rho={rho:g}"
+                )
+            rows.append(best)
+    return rows
+
+
+def _aggregate(rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    total_events = sum(r["events"] for r in rows)
+    total_wall = sum(r["wall_seconds"] for r in rows)
+    return {
+        "total_events": total_events,
+        "total_wall_seconds": total_wall,
+        "events_per_sec": total_events / total_wall if total_wall else 0.0,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke grid"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        metavar="N",
+        help="timed repetitions per point; best wall-clock wins (default 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=(
+            "output JSON path (default: BENCH_serving.json for --quick, "
+            "BENCH_serving.full.json otherwise)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    rows = run_benchmark(grid, max(args.repeats, 1))
+    aggregate = _aggregate(rows)
+    per_system = {
+        system: _aggregate([r for r in rows if r["system"] == system])
+        for system in sorted({r["system"] for r in rows})
+    }
+
+    print_table(
+        "Open-loop serving throughput: events/sec with windowed metrics "
+        f"armed ({'quick' if args.quick else 'full'} grid)",
+        (
+            "system",
+            "slots",
+            "rho",
+            "jobs",
+            "measured",
+            "events",
+            "wall s",
+            "events/s",
+        ),
+        [
+            (
+                r["system"],
+                r["total_slots"],
+                r["rho"],
+                r["num_jobs"],
+                r["measured_jobs"],
+                r["events"],
+                r["wall_seconds"],
+                r["events_per_sec"],
+            )
+            for r in rows
+        ],
+    )
+    for system in sorted(per_system):
+        print(
+            f"{system}: {per_system[system]['events_per_sec']:,.0f} "
+            f"events/sec aggregate"
+        )
+
+    payload = {
+        "quick": args.quick,
+        "planes": list(PLANES),
+        "regime": {
+            "warmup": WARMUP,
+            "horizon": HORIZON,
+            "cooldown": COOLDOWN,
+            "window": WINDOW,
+        },
+        "repeats": max(args.repeats, 1),
+        "rows": rows,
+        "aggregate": aggregate,
+        "per_system": per_system,
+    }
+    if args.output:
+        from _tables import BENCH_SCHEMA_VERSION
+        import json
+
+        out = Path(args.output)
+        doc = {
+            "benchmark": "serving",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            **payload,
+        }
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+    elif args.quick:
+        out = write_bench_json("serving", payload)
+    else:
+        out = write_bench_json("serving.full", payload)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

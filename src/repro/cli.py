@@ -19,6 +19,10 @@ Subcommands
 ``cache``
     Inspect (``stats``), prune (``prune [--older-than DAYS]``) or clear
     the on-disk result cache.
+``workload preview PROFILE --rho 0.9``
+    Print the calibrated open-loop arrival rate for a profile at a
+    target utilization plus a per-window arrival-count table for every
+    registered arrival process (the serving regime's traffic shapes).
 ``trace capture / trace export``
     Record a structured JSONL event trace of one instrumented run, and
     convert it to Chrome ``chrome://tracing`` / Perfetto JSON.
@@ -715,6 +719,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.serving.arrivals import (
+        ARRIVAL_PROCESSES,
+        calibrate_arrival_rate,
+        estimate_mean_job_work,
+        make_arrival_process,
+    )
+    from repro.simulation.rng import RandomSource
+    from repro.workload.generator import TraceGenerator, profile_by_name
+
+    try:
+        profile = profile_by_name(args.profile)
+    except (KeyError, registry.UnknownEntryError):
+        print(
+            f"unknown workload profile {args.profile!r}; "
+            f"try: python -m repro list",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 < args.rho < 1.0:
+        print("--rho must be in (0, 1)", file=sys.stderr)
+        return 2
+    if args.windows < 1 or args.window <= 0:
+        print("--windows must be >= 1 and --window positive", file=sys.stderr)
+        return 2
+
+    source = RandomSource(seed=args.seed)
+    generator = TraceGenerator(profile, random_source=source)
+    mean_work = estimate_mean_job_work(generator)
+    rate = calibrate_arrival_rate(generator, args.total_slots, args.rho)
+    print(f"profile              : {args.profile}")
+    print(f"total slots          : {args.total_slots}")
+    print(f"mean job work E[W]   : {mean_work:.2f} slot-seconds (probe)")
+    print(f"target rho           : {args.rho:g}")
+    print(
+        f"calibrated rate      : {rate:.4f} jobs/s "
+        f"(lambda = rho * slots / E[W])"
+    )
+    print(
+        f"expected utilization : {args.rho:.0%} of {args.total_slots} slots"
+    )
+    print(f"expected per window  : {rate * args.window:.1f} arrivals")
+
+    # One seeded realization of every registered arrival process,
+    # bucketed into the preview windows. Same rate, independent child
+    # streams -- the table shows *shape* (burstiness, swing), not noise.
+    names = ARRIVAL_PROCESSES.names()
+    horizon = args.window * args.windows
+    counts: Dict[str, List[int]] = {}
+    for name in names:
+        process = make_arrival_process(
+            name, rate, source.child(f"preview-{name}").rng
+        )
+        per_window = [0] * args.windows
+        now = 0.0
+        while True:
+            now += process.next_interarrival(now)
+            if now >= horizon:
+                break
+            per_window[int(now // args.window)] += 1
+        counts[name] = per_window
+    rows: List[tuple] = [
+        (f"[{i * args.window:g}, {(i + 1) * args.window:g})",)
+        + tuple(counts[name][i] for name in names)
+        for i in range(args.windows)
+    ]
+    rows.append(("total",) + tuple(sum(counts[name]) for name in names))
+    print_table(
+        f"Arrival counts per {args.window:g}s window "
+        f"(rho={args.rho:g}, seed={args.seed})",
+        ("window",) + tuple(names),
+        rows,
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import trajectory as traj
 
@@ -984,6 +1064,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_parser.set_defaults(handler=_cmd_trace)
 
+    workload_parser = subparsers.add_parser(
+        "workload", help="workload / arrival-stream inspection helpers"
+    )
+    workload_sub = workload_parser.add_subparsers(dest="action", required=True)
+    preview_parser = workload_sub.add_parser(
+        "preview",
+        help=(
+            "print the calibrated open-loop arrival rate for a profile "
+            "and a per-window arrival-count table for every registered "
+            "arrival process"
+        ),
+    )
+    preview_parser.add_argument("profile", metavar="PROFILE")
+    preview_parser.add_argument(
+        "--rho",
+        type=float,
+        default=0.9,
+        help="target utilization in (0, 1) (default: 0.9)",
+    )
+    preview_parser.add_argument("--total-slots", type=int, default=400)
+    preview_parser.add_argument("--seed", type=int, default=42)
+    preview_parser.add_argument(
+        "--windows",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of preview windows (default: 10)",
+    )
+    preview_parser.add_argument(
+        "--window",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="window length in virtual seconds (default: 20)",
+    )
+    preview_parser.set_defaults(handler=_cmd_workload)
+
     bench_parser = subparsers.add_parser(
         "bench", help="benchmark reporting helpers"
     )
@@ -995,11 +1112,14 @@ def build_parser() -> argparse.ArgumentParser:
             "files across git history"
         ),
     )
+    from repro.obs.trajectory import DEFAULT_BENCH_NAMES
+
+    default_names = ",".join(DEFAULT_BENCH_NAMES)
     trajectory_parser.add_argument(
         "--names",
-        default="scale,blacklist,obs",
+        default=default_names,
         metavar="N1,N2,...",
-        help="comma-separated bench names (default: scale,blacklist,obs)",
+        help=f"comma-separated bench names (default: {default_names})",
     )
     trajectory_parser.add_argument(
         "--repo-root",

@@ -10,32 +10,42 @@ average accuracy with this scheme.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.workload.job import Job
 
 
 class AlphaEstimator:
-    """Recurring-job history for intermediate data and alpha prediction."""
+    """Recurring-job history for intermediate data and alpha prediction.
+
+    All state is **bounded for a bounded set of recurring job names**:
+    observations fold into per-(name, phase) running sums, prediction
+    accuracy into one running error sum, and the per-job alpha memo is
+    dropped on job completion (see :meth:`drop_job`). An open-loop
+    serving run can therefore stream jobs indefinitely without the
+    estimator growing per job or per observation.
+    """
 
     def __init__(self, network_rate: float = 1.0) -> None:
         if network_rate <= 0:
             raise ValueError("network_rate must be positive")
         self.network_rate = network_rate
-        # (job name, phase index) -> list of observed output sizes
-        self._history: Dict[Tuple[str, int], List[float]] = defaultdict(list)
         # (job name, phase index) -> (running total, count); the running
-        # total accumulates in append order, so total/count is the exact
-        # float sum(history)/len(history) would produce.
+        # total accumulates in observation order, so total/count is the
+        # exact float mean a stored history would produce.
         self._sums: Dict[Tuple[str, int], Tuple[float, int]] = {}
         # predict_alpha memo: job_id -> (finished tasks, history version,
         # alpha). Alpha is a pure function of the job's per-phase finish
         # counts (monotone, so their total identifies the state) and of
-        # the recorded history (versioned below).
+        # the recorded history (versioned below). Entries are evicted
+        # when their job completes.
         self._alpha_cache: Dict[int, Tuple[int, int, float]] = {}
         self._history_version = 0
-        self._prediction_errors: List[float] = []
+        # Accuracy accounting as a running (error sum, count) — the
+        # per-prediction error list it replaces grew without bound
+        # under sustained arrivals and was only ever read as a mean.
+        self._error_sum = 0.0
+        self._error_count = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -49,11 +59,9 @@ class AlphaEstimator:
             raise ValueError("output_data must be non-negative")
         predicted = self.predict_phase_output(job_name, phase_index)
         if predicted is not None and output_data > 0:
-            self._prediction_errors.append(
-                abs(predicted - output_data) / output_data
-            )
+            self._error_sum += abs(predicted - output_data) / output_data
+            self._error_count += 1
         key = (job_name, phase_index)
-        self._history[key].append(float(output_data))
         total, count = self._sums.get(key, (0.0, 0))
         self._sums[key] = (total + float(output_data), count + 1)
         self._history_version += 1
@@ -123,17 +131,29 @@ class AlphaEstimator:
         )
         return alpha
 
+    # -- completed-job teardown --------------------------------------------
+
+    def drop_job(self, job_id: int) -> None:
+        """Evict a completed job's alpha memo.
+
+        Called by the copy ledger on job completion. Safe because a
+        completed job is never passed to :meth:`predict_alpha` again;
+        without it the memo grows one entry per job forever, which an
+        open-loop serving run cannot afford. The per-*name* running
+        sums stay — they are the recurring-job history itself.
+        """
+        self._alpha_cache.pop(job_id, None)
+
     # -- accuracy reporting ------------------------------------------------
 
     @property
     def accuracy(self) -> float:
         """Mean prediction accuracy (1 - relative error), as reported in
         §6.3 (92% in the paper's workloads). 0.0 before any repeat runs."""
-        if not self._prediction_errors:
+        if not self._error_count:
             return 0.0
-        mean_err = sum(self._prediction_errors) / len(self._prediction_errors)
-        return max(0.0, 1.0 - mean_err)
+        return max(0.0, 1.0 - self._error_sum / self._error_count)
 
     @property
     def num_predictions_scored(self) -> int:
-        return len(self._prediction_errors)
+        return self._error_count

@@ -154,7 +154,7 @@ def _resolve_obs(obs) -> Optional[Obs]:
     return obs
 
 
-def run_centralized(
+def build_centralized_simulator(
     trace: Trace,
     policy: str,
     spec: WorkloadSpec,
@@ -172,8 +172,8 @@ def run_centralized(
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
     obs=_OBS_FROM_ENV,
-) -> SimulationResult:
-    """Replay ``trace`` under one centralized policy.
+) -> CentralizedSimulator:
+    """Construct (without running) a centralized simulator for ``trace``.
 
     The trace is deep-copied first, so the same object can be replayed
     under several systems. ``policy`` and (string-valued)
@@ -182,7 +182,8 @@ def run_centralized(
     carries its default speculation mode (BEST_EFFORT for the
     baselines, INTEGRATED for Hopper). With a blacklist policy the
     simulator evicts struck machines mid-run (see
-    :mod:`repro.cluster.policy`).
+    :mod:`repro.cluster.policy`). The serving driver builds through
+    here too, then primes the engine before calling ``run()``.
     """
     policy_obj, default_mode = _centralized_system(policy, epsilon)
     if speculation_mode is None:
@@ -204,7 +205,7 @@ def run_centralized(
             speculation_mode=speculation_mode,
             default_beta=spec.profile.beta,
         )
-    simulator = CentralizedSimulator(
+    return CentralizedSimulator(
         cluster=cluster,
         policy=policy_obj,
         speculation=lambda: make_speculation_policy(speculation),
@@ -224,10 +225,19 @@ def run_centralized(
         ),
         obs=_resolve_obs(obs),
     )
-    return simulator.run()
 
 
-def run_decentralized(
+def run_centralized(
+    trace: Trace, policy: str, spec: WorkloadSpec, **kwargs
+) -> SimulationResult:
+    """Replay ``trace`` under one centralized policy (build, then run).
+
+    See :func:`build_centralized_simulator` for every keyword.
+    """
+    return build_centralized_simulator(trace, policy, spec, **kwargs).run()
+
+
+def build_decentralized_simulator(
     trace: Trace,
     system: str,
     spec: WorkloadSpec,
@@ -239,21 +249,21 @@ def run_decentralized(
     straggler_model: Union[StragglerModel, str, None] = None,
     run_seed: int = 7,
     config: Optional[DecentralizedConfig] = None,
-    until: Optional[float] = None,
     blacklist_policy: Union[BlacklistPolicy, str, None] = None,
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
     obs=_OBS_FROM_ENV,
-) -> SimulationResult:
-    """Replay ``trace`` under one decentralized system.
+) -> DecentralizedSimulator:
+    """Construct (without running) a decentralized simulator for ``trace``.
 
     ``system`` names an entry of
     :data:`repro.registry.DECENTRALIZED_SYSTEMS`; each entry carries the
     paper's default probe ratio (2 for the baselines, 4 for Hopper) and
     fairness setting, overridable per experiment. With a blacklist
     policy the simulator evicts struck workers from the probe pool
-    mid-run (see :mod:`repro.cluster.policy`).
+    mid-run (see :mod:`repro.cluster.policy`). The serving driver
+    builds through here too, then primes the engine before ``run()``.
     """
     defaults = registry.DECENTRALIZED_SYSTEMS.get(system).factory()
     if config is None:
@@ -267,7 +277,7 @@ def run_decentralized(
             num_schedulers=num_schedulers,
             default_beta=spec.profile.beta,
         )
-    simulator = DecentralizedSimulator(
+    return DecentralizedSimulator(
         num_workers=spec.total_slots,
         speculation=lambda: make_speculation_policy(speculation),
         trace=trace.fresh_copy(),
@@ -286,4 +296,18 @@ def run_decentralized(
         ),
         obs=_resolve_obs(obs),
     )
+
+
+def run_decentralized(
+    trace: Trace,
+    system: str,
+    spec: WorkloadSpec,
+    until: Optional[float] = None,
+    **kwargs,
+) -> SimulationResult:
+    """Replay ``trace`` under one decentralized system (build, then run).
+
+    See :func:`build_decentralized_simulator` for every keyword.
+    """
+    simulator = build_decentralized_simulator(trace, system, spec, **kwargs)
     return simulator.run(until=until)

@@ -74,6 +74,13 @@ class SimulationResult:
     #: Observability report (counters + phase timers) attached at the
     #: end of an instrumented run; ``None`` on uninstrumented runs.
     obs: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    #: Steady-state windowed metrics (warm-up-truncated per-window tail
+    #: JCT / queueing delay, time-averaged depth and utilization)
+    #: attached by the serving driver; ``None`` on batch runs. Unlike
+    #: the obs diagnostics these *are* results: they serialize under
+    #: the schema-3 "serving" section, survive round trips, and feed
+    #: golden digests — hence compared for equality.
+    serving: Optional[Dict[str, Any]] = None
 
     def job_by_id(self) -> Dict[int, JobRecord]:
         return {r.job_id: r for r in self.jobs}
@@ -118,6 +125,10 @@ class MetricsCollector:
 
     def __init__(self, scheduler_name: str) -> None:
         self.result = SimulationResult(scheduler_name=scheduler_name)
+        #: Optional serving-regime aggregator (see
+        #: :mod:`repro.serving.windows`); one ``is not None`` check on
+        #: the completion path, so batch runs pay nothing.
+        self.serving_window = None
 
     def record_job_completion(
         self,
@@ -140,6 +151,10 @@ class MetricsCollector:
                 finish_time=finish_time,
             )
         )
+        if self.serving_window is not None:
+            self.serving_window.on_completion(
+                job_id, arrival_time, finish_time
+            )
 
     def record_copy_launch(self, speculative: bool, local: bool) -> None:
         self.result.total_copies += 1

@@ -12,7 +12,11 @@ serializes exactly as schema 1 — byte-identical to every document the
 pre-obs code wrote, which is what keeps the pinned golden digests valid.
 A result carrying ``result.obs`` serializes as schema 2, which nests
 the diagnostics (counters, timers, drop/eviction accounting, per-machine
-strike totals) under one ``"obs"`` key. Readers accept both versions.
+strike totals) under one ``"obs"`` key. A result carrying
+``result.serving`` (the open-loop steady-state windows) serializes as
+schema 3, which adds the ``"serving"`` section — unlike the obs
+diagnostics this section is a first-class result, so it round-trips.
+Readers accept all three versions.
 
 One deliberate asymmetry follows: the diagnostic fields on an
 *uninstrumented* result (``requests_dropped`` etc. are maintained in
@@ -30,12 +34,13 @@ from typing import Any, Dict
 from repro.metrics.collector import JobRecord, SimulationResult
 
 #: Highest schema version this code writes and reads. Version 2 adds
-#: the optional nested ``"obs"`` diagnostics section; version 1 is the
-#: frozen flat layout every golden digest was captured against.
-SCHEMA_VERSION = 2
+#: the optional nested ``"obs"`` diagnostics section; version 3 adds
+#: the optional ``"serving"`` steady-state section; version 1 is the
+#: frozen flat layout every batch golden digest was captured against.
+SCHEMA_VERSION = 3
 
 #: Every version :func:`result_from_dict` accepts.
-READABLE_SCHEMA_VERSIONS = (1, 2)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: Diagnostic fields serialized inside the schema-2 ``"obs"`` section
 #: (and never as top-level scalars — see the versioning policy above).
@@ -47,11 +52,15 @@ _OBS_SECTION_FIELDS = (
     "obs",
 )
 
+#: Fields serialized as optional nested sections rather than top-level
+#: scalars; ``"serving"`` is the schema-3 steady-state section.
+_SECTION_FIELDS = _OBS_SECTION_FIELDS + ("serving",)
+
 _JOB_FIELDS = tuple(f.name for f in dataclasses.fields(JobRecord))
 _RESULT_SCALAR_FIELDS = tuple(
     f.name
     for f in dataclasses.fields(SimulationResult)
-    if f.name != "jobs" and f.name not in _OBS_SECTION_FIELDS
+    if f.name != "jobs" and f.name not in _SECTION_FIELDS
 )
 
 
@@ -68,15 +77,22 @@ def job_record_from_dict(data: Dict[str, Any]) -> JobRecord:
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Plain-dict form of a :class:`SimulationResult` (JSON-safe).
 
-    ``result.obs is None`` selects the frozen schema-1 layout;
-    otherwise the document is schema 2 with the diagnostics nested
-    under ``"obs"`` (strike-total keys become strings for JSON).
+    ``result.obs is None`` and ``result.serving is None`` select the
+    frozen schema-1 layout; an obs report alone selects schema 2 with
+    the diagnostics nested under ``"obs"`` (strike-total keys become
+    strings for JSON); a serving section selects schema 3, which also
+    carries the obs section when one is present.
     """
-    version = 1 if result.obs is None else 2
+    if result.serving is not None:
+        version = 3
+    elif result.obs is not None:
+        version = 2
+    else:
+        version = 1
     doc: Dict[str, Any] = {"schema_version": version}
     for name in _RESULT_SCALAR_FIELDS:
         doc[name] = getattr(result, name)
-    if version >= 2:
+    if result.obs is not None:
         doc["obs"] = {
             "counters": result.obs.get("counters", {}),
             "timers": result.obs.get("timers", {}),
@@ -88,6 +104,8 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
                 for machine, strikes in sorted(result.machine_strikes.items())
             },
         }
+    if result.serving is not None:
+        doc["serving"] = result.serving
     doc["jobs"] = [job_record_to_dict(r) for r in result.jobs]
     return doc
 
@@ -123,6 +141,9 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
             "counters": section.get("counters", {}),
             "timers": section.get("timers", {}),
         }
+    serving = data.get("serving")
+    if version >= 3 and isinstance(serving, dict):
+        result.serving = serving
     return result
 
 

@@ -20,7 +20,7 @@ import subprocess
 from typing import Any, Dict, List, Optional, Sequence
 
 #: Default benchmark names to include in a trajectory report.
-DEFAULT_BENCH_NAMES = ("scale", "blacklist", "obs")
+DEFAULT_BENCH_NAMES = ("scale", "blacklist", "obs", "serving")
 
 
 class TrajectoryError(RuntimeError):

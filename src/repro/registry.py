@@ -276,6 +276,7 @@ SPEC_KINDS = Registry("spec kind")
 CENTRALIZED_SYSTEMS = Registry("centralized system")
 DECENTRALIZED_SYSTEMS = Registry("decentralized system")
 SINGLE_JOB_SYSTEMS = Registry("single_job system")
+SERVING_SYSTEMS = Registry("serving system")
 SPECULATION_POLICIES = Registry("speculation policy")
 STRAGGLER_MODELS = Registry("straggler model")
 BLACKLIST_POLICIES = Registry("blacklist policy")
@@ -294,6 +295,7 @@ def studies() -> Registry:
     import repro.experiments.blacklist_policy  # noqa: F401  (eviction study)
     import repro.experiments.figures  # noqa: F401  (registers studies)
     import repro.experiments.scale  # noqa: F401  (registers the scale study)
+    import repro.experiments.serving  # noqa: F401  (steady_state study)
 
     return STUDIES
 
@@ -442,6 +444,42 @@ SINGLE_JOB_SYSTEMS.register(
     "hopper",
     _hopper_factory,
     description="single-job Hopper with uncapped LATE (Fig. 3 setting)",
+)
+
+
+@dataclass(frozen=True)
+class ServingSystem:
+    """A serving-regime target: which plane, and which system on it.
+
+    The open-loop driver streams into either simulator family; an entry
+    here names one (plane, system) pair so a ``serving`` RunSpec stays
+    a flat name like every other kind. ``system`` must itself be
+    registered in that plane's own registry.
+    """
+
+    plane: str  # "centralized" | "decentralized"
+    system: str
+
+
+SERVING_SYSTEMS.register(
+    "hopper",
+    ServingSystem("decentralized", "hopper"),
+    description="open-loop stream into decentralized Hopper (d=4)",
+)
+SERVING_SYSTEMS.register(
+    "sparrow-srpt",
+    ServingSystem("decentralized", "sparrow-srpt"),
+    description="open-loop stream into Sparrow-SRPT (the strong baseline)",
+)
+SERVING_SYSTEMS.register(
+    "hopper-c",
+    ServingSystem("centralized", "hopper"),
+    description="open-loop stream into centralized Hopper",
+)
+SERVING_SYSTEMS.register(
+    "srpt-c",
+    ServingSystem("centralized", "srpt"),
+    description="open-loop stream into centralized SRPT",
 )
 
 
@@ -757,6 +795,18 @@ def _run_single_job_spec(spec):
     return simulator.run()
 
 
+def _run_serving_spec(spec):
+    from repro.serving.driver import run_serving_spec
+
+    return run_serving_spec(spec)
+
+
+def _arrival_process_names() -> Tuple[str, ...]:
+    from repro.serving.arrivals import ARRIVAL_PROCESSES
+
+    return ARRIVAL_PROCESSES.names()
+
+
 def _straggler_model_knob() -> Knob:
     return Knob(
         "straggler_model",
@@ -882,6 +932,52 @@ _DECENTRALIZED_KNOBS = (
     *_blacklist_knobs(),
 )
 
+_SERVING_KNOBS = (
+    Knob(
+        "arrival_process",
+        type=str,
+        default="poisson",
+        description="arrival-process family (see ARRIVAL_PROCESSES)",
+        choices=_arrival_process_names,
+    ),
+    Knob(
+        "warmup",
+        type=float,
+        default=20.0,
+        description="transient truncated before measurement (virtual s)",
+        validator=lambda v: v >= 0.0,
+    ),
+    Knob(
+        "horizon",
+        type=float,
+        default=120.0,
+        description="arrival/measurement end (virtual seconds)",
+        validator=lambda v: v > 0.0,
+    ),
+    Knob(
+        "cooldown",
+        type=float,
+        default=20.0,
+        description="drain time past the horizon (virtual seconds)",
+        validator=lambda v: v >= 0.0,
+    ),
+    Knob(
+        "window",
+        type=float,
+        default=20.0,
+        description="metrics window width (virtual seconds)",
+        validator=lambda v: v > 0.0,
+    ),
+    Knob(
+        "heavy_tail",
+        type=float,
+        default=0.0,
+        description="Pareto shape of whole-job size multipliers (0 = off)",
+        validator=lambda v: v == 0.0 or v > 1.0,
+    ),
+    _straggler_model_knob(),
+)
+
 _SINGLE_JOB_KNOBS = (
     Knob(
         "beta",
@@ -939,6 +1035,21 @@ SPEC_KINDS.register(
     ),
     description="one synthetic job on a dedicated cluster (Fig. 3)",
 )
+SPEC_KINDS.register(
+    "serving",
+    SpecKind(
+        name="serving",
+        systems=SERVING_SYSTEMS,
+        knobs={knob.name: knob for knob in _SERVING_KNOBS},
+        run=_run_serving_spec,
+        description=(
+            "open-loop arrival stream at a target rho with windowed "
+            "steady-state tail metrics (workload.utilization is rho, "
+            "workload.num_jobs the injection safety cap)"
+        ),
+    ),
+    description="open-loop heavy-traffic stream with steady-state tails",
+)
 
 
 __all__ = [
@@ -953,10 +1064,12 @@ __all__ = [
     "SpecKind",
     "CentralizedSystemDefaults",
     "DecentralizedSystemDefaults",
+    "ServingSystem",
     "SPEC_KINDS",
     "CENTRALIZED_SYSTEMS",
     "DECENTRALIZED_SYSTEMS",
     "SINGLE_JOB_SYSTEMS",
+    "SERVING_SYSTEMS",
     "SPECULATION_POLICIES",
     "STRAGGLER_MODELS",
     "BLACKLIST_POLICIES",

@@ -45,6 +45,7 @@ class CopyLedger:
         "events",
         "_next_copy_id",
         "tracer",
+        "serving_window",
     )
 
     def __init__(
@@ -61,6 +62,10 @@ class CopyLedger:
         self.events: Dict[int, EventHandle] = {}
         self._next_copy_id = 0
         self.tracer = tracer
+        #: Optional serving-regime aggregator; fed each job's *first*
+        #: copy launch so queueing delay (arrival -> first launch) can
+        #: be measured. One ``is not None`` check when off.
+        self.serving_window = None
 
     # -- launch -------------------------------------------------------------
 
@@ -91,6 +96,8 @@ class CopyLedger:
             duration, on_finish, copy, *finish_args
         )
         self.metrics.record_copy_launch(speculative=speculative, local=local)
+        if self.serving_window is not None:
+            self.serving_window.note_launch(task.job_id, copy.start_time)
         tracer = self.tracer
         if tracer is not None:
             tracer.begin(
@@ -191,5 +198,10 @@ class CopyLedger:
         )
         if alpha_estimator is not None:
             alpha_estimator.observe_job(job)
+            # Completed jobs are never queried again; dropping their
+            # memo keeps estimator state bounded under sustained
+            # arrivals (open-loop serving runs have no end-of-run
+            # teardown to rely on).
+            alpha_estimator.drop_job(job.job_id)
         if self.tracer is not None:
             self.tracer.end(("job", job.job_id), now, tasks=job.num_tasks)

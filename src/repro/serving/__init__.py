@@ -1,0 +1,42 @@
+"""Open-loop heavy-traffic serving regime.
+
+Batch studies replay a finite job list and stop; the serving regime
+streams jobs into a scheduler plane indefinitely at a target utilization
+rho and measures the steady state: per-window tail JCT and queueing
+delay after warm-up truncation, plus time-averaged queue depth and slot
+utilization. See :mod:`repro.serving.arrivals` for the registered
+arrival-process family, :mod:`repro.serving.windows` for the windowed
+metrics layer, and :mod:`repro.serving.driver` for the lazy open-loop
+driver feeding either simulator plane.
+"""
+
+from repro.serving.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    HeavyTailSizeModifier,
+    PoissonArrivals,
+    calibrate_arrival_rate,
+    estimate_mean_job_work,
+    make_arrival_process,
+)
+from repro.serving.driver import JobStream, OpenLoopDriver, run_serving
+from repro.serving.windows import ServingRegime, WindowedAggregator
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "BurstyArrivals",
+    "HeavyTailSizeModifier",
+    "calibrate_arrival_rate",
+    "estimate_mean_job_work",
+    "make_arrival_process",
+    "ServingRegime",
+    "WindowedAggregator",
+    "JobStream",
+    "OpenLoopDriver",
+    "run_serving",
+]

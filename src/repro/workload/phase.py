@@ -106,6 +106,26 @@ class Phase:
             return 0.0
         return self.output_data * (self.remaining_tasks / self.num_tasks)
 
+    def scale_work(self, factor: float) -> None:
+        """Uniformly rescale an unstarted phase's task sizes and output.
+
+        Used by the serving regime's heavy-tailed job-size modifier; the
+        cached work totals scale with the tasks so the incremental
+        remaining-work tally stays exact. Rescaling after tasks have
+        finished would desynchronize that tally, hence the guard.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        if self._finished_count:
+            raise RuntimeError(
+                f"phase {self.index}: cannot rescale after tasks finished"
+            )
+        for task in self.tasks:
+            task.size *= factor
+        self.output_data *= factor
+        self._total_work *= factor
+        self._remaining_work = self._total_work
+
     def reset_runtime_state(self) -> None:
         self._finished_count = 0
         self._remaining_work = self._total_work

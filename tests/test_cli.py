@@ -230,3 +230,55 @@ def test_bench_trajectory_outside_git_is_nonfatal(tmp_path, capsys):
         ["bench", "trajectory", "--repo-root", str(tmp_path)]
     ) == 0
     assert "unavailable" in capsys.readouterr().err
+
+
+def test_workload_preview_prints_calibration_and_arrival_table(capsys):
+    assert main(
+        [
+            "workload",
+            "preview",
+            "spark-facebook",
+            "--rho",
+            "0.85",
+            "--total-slots",
+            "80",
+            "--windows",
+            "4",
+            "--window",
+            "5",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "calibrated rate" in out
+    assert "expected utilization : 85%" in out
+    for name in ("poisson", "diurnal", "bursty"):
+        assert name in out
+    # 4 preview windows plus the totals row.
+    assert "[15, 20)" in out
+    assert "total" in out
+
+
+def test_workload_preview_is_deterministic(capsys):
+    args = ["workload", "preview", "spark-facebook", "--rho", "0.9"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_workload_preview_rejects_bad_inputs(capsys):
+    assert main(["workload", "preview", "no-such-profile"]) == 2
+    assert "unknown workload profile" in capsys.readouterr().err
+    assert main(
+        ["workload", "preview", "spark-facebook", "--rho", "1.5"]
+    ) == 2
+    assert "--rho must be in (0, 1)" in capsys.readouterr().err
+
+
+def test_bench_trajectory_default_names_include_serving():
+    from repro.cli import build_parser
+    from repro.obs.trajectory import DEFAULT_BENCH_NAMES
+
+    args = build_parser().parse_args(["bench", "trajectory"])
+    assert "serving" in DEFAULT_BENCH_NAMES
+    assert args.names == ",".join(DEFAULT_BENCH_NAMES)

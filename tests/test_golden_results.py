@@ -62,6 +62,13 @@ GOLDEN_STUDY_DIGESTS = {
     "blacklist_policy": (
         "c87703598e96dc9543a93d15f10c442fbef95c6e5957f2b895d8952ebf3d7842"
     ),
+    # Born in PR 7 (open-loop serving regime): pinned at its first
+    # output. Serving results carry the schema-3 "serving" section, so
+    # this digest also freezes the windowed-metrics layout and the
+    # arrival-stream entropy consumption on both planes.
+    "steady_state": (
+        "0723414c5d0544e45d7b8d6bd2d7965b23a6998a8efc3044adeb99e19e755aca"
+    ),
 }
 
 
