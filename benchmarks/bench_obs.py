@@ -36,6 +36,7 @@ from bench_scale import (  # noqa: E402
     QUICK_GRID,
     SYSTEMS,
     UTILIZATION,
+    run_once_batch,
     run_once_centralized,
     run_once_decentralized,
 )
@@ -43,6 +44,7 @@ from bench_scale import (  # noqa: E402
 _RUNNERS = {
     "decentralized": run_once_decentralized,
     "centralized": run_once_centralized,
+    "batch": run_once_batch,
 }
 
 #: Observability modes measured per grid point. "off" rows intentionally
@@ -126,7 +128,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--system",
         choices=(*SYSTEMS, "both"),
         default="both",
-        help="which simulator axis to benchmark (default: both)",
+        help="which simulator axis to benchmark (default: both = all axes)",
     )
     parser.add_argument(
         "--repeats",

@@ -43,9 +43,10 @@ FULL_GRID: Sequence[Tuple[int, int]] = (
 )
 QUICK_GRID: Sequence[Tuple[int, int]] = ((2000, 40), (10000, 80))
 
-SYSTEMS = ("decentralized", "centralized")
+SYSTEMS = ("decentralized", "centralized", "batch")
 
 PROBE_RATIO = 4.0
+ROUND_INTERVAL = 0.5
 UTILIZATION = 0.6
 TRACE_SEED = 42
 RUN_SEED = 7
@@ -171,9 +172,64 @@ def run_once_centralized(
     }
 
 
+def run_once_batch(
+    total_slots: int, num_jobs: int, obs: Any = None
+) -> Dict[str, Any]:
+    """One timed batch-plane Hopper replay (periodic rounds at
+    ``ROUND_INTERVAL``, otherwise the centralized harness defaults);
+    returns a result row. ``obs`` as in :func:`run_once_decentralized`."""
+    from repro import registry
+    from repro.batch import BatchSimulator
+    from repro.centralized.config import CentralizedConfig, SpeculationMode
+    from repro.cluster.cluster import Cluster
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import make_speculation_policy
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+
+    profile, _, trace = _build_trace(total_slots, num_jobs)
+    policy = registry.BATCH_SYSTEMS.get("hopper").factory(epsilon=0.1)
+    slots_per_machine = 4
+    simulator = BatchSimulator(
+        round_interval=ROUND_INTERVAL,
+        cluster=Cluster(
+            num_machines=max(1, total_slots // slots_per_machine),
+            slots_per_machine=slots_per_machine,
+        ),
+        policy=policy,
+        speculation=lambda: make_speculation_policy("late"),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoRedrawStragglerModel(
+            beta=profile.beta, scale=profile.task_scale
+        ),
+        config=CentralizedConfig(
+            epsilon=0.1,
+            speculation_mode=SpeculationMode.INTEGRATED,
+            default_beta=profile.beta,
+        ),
+        random_source=RandomSource(seed=RUN_SEED),
+        obs=obs,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    wall = time.perf_counter() - start
+    events = simulator.sim.events_processed
+    return {
+        "system": "batch",
+        "total_slots": total_slots,
+        "num_jobs": num_jobs,
+        "probe_ratio": None,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "mean_job_duration": result.mean_job_duration,
+        "messages_sent": result.messages_sent,
+    }
+
+
 _RUNNERS = {
     "decentralized": run_once_decentralized,
     "centralized": run_once_centralized,
+    "batch": run_once_batch,
 }
 
 
@@ -221,7 +277,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--system",
         choices=(*SYSTEMS, "both"),
         default="both",
-        help="which simulator axis to benchmark (default: both)",
+        help="which simulator axis to benchmark (default: both = all axes)",
     )
     parser.add_argument(
         "--repeats",

@@ -1,0 +1,5 @@
+"""Batch-mode scheduling plane: periodic rounds over a pending buffer."""
+
+from repro.batch.simulator import BatchSimulator
+
+__all__ = ["BatchSimulator"]

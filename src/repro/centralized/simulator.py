@@ -365,6 +365,12 @@ class CentralizedSimulator:
                 self._complete_job(jr)
         if self._blacklist_policy is not None:
             self._observe_blacklist(copy, jr)
+        self._request_dispatch()
+
+    def _request_dispatch(self) -> None:
+        """Dispatch point after a completion event. Per-arrival planes
+        reschedule immediately; the batch plane overrides this to defer
+        work to its next periodic round."""
         self._reschedule()
 
     def _complete_job(self, jr: _JobRuntime) -> None:

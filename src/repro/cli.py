@@ -369,18 +369,23 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "Studies (python -m repro study <name> --seeds 1,2,3)",
         registry.studies().entries(),
     )
+    print("\nSystems (python -m repro sweep --kind <plane> ...):")
+    systems = registry.SYSTEMS.entries()
+    plane_width = max((len(e.plane) for e in systems), default=0)
+    name_width = max((len(e.name) for e in systems), default=0)
+    for entry in systems:
+        print(
+            f"  {entry.plane.ljust(plane_width)}  "
+            f"{entry.name.ljust(name_width)}  {entry.description}"
+        )
     for kind_entry in registry.SPEC_KINDS.entries():
         kind = kind_entry.factory
-        _print_entries(
-            f"Systems for kind '{kind.name}' ({kind.description})",
-            kind.systems.entries(),
-        )
         if kind.knobs:
             knobs = ", ".join(
                 f"{knob.name}:{registry.type_label(knob.type)}"
                 for knob in kind.knobs.values()
             )
-            print(f"  knobs: {knobs}")
+            print(f"\n{kind.name} knobs ({kind.description}):\n  {knobs}")
     _print_entries(
         "Speculation policies", registry.SPECULATION_POLICIES.entries()
     )
@@ -678,8 +683,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.harness import (
         WorkloadSpec,
         build_trace,
-        run_centralized,
-        run_decentralized,
+        run_simulator,
     )
     from repro.workload.generator import profile_by_name
 
@@ -695,13 +699,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"invalid capture parameters: {exc}", file=sys.stderr)
         return 2
     obs = Obs(trace=True)
-    runner = (
-        run_centralized if args.kind == "centralized" else run_decentralized
-    )
-    result = runner(
-        build_trace(spec),
+    result = run_simulator(
         args.system,
+        build_trace(spec),
         spec,
+        plane=args.kind,
         speculation=args.speculation,
         run_seed=args.run_seed,
         obs=obs,
@@ -792,6 +794,30 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         ("window",) + tuple(names),
         rows,
     )
+    return 0
+
+
+def _cmd_plane(args: argparse.Namespace) -> int:
+    try:
+        entry = registry.SYSTEMS.get(args.system, plane=args.plane)
+    except registry.RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"system      : {entry.name}")
+    print(f"plane       : {entry.plane}")
+    print(f"qualified   : {entry.qualified}")
+    print(f"description : {entry.description}")
+    try:
+        kind = registry.spec_kind(entry.plane)
+    except registry.UnknownEntryError:
+        kind = None
+    if kind is not None and kind.knobs:
+        print(f"\nknobs ({kind.description}):")
+        for knob in kind.knobs.values():
+            print(
+                f"  {knob.name:<18} {registry.type_label(knob.type):<7} "
+                f"default={knob.default}"
+            )
     return 0
 
 
@@ -940,7 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--kind",
-        choices=("centralized", "decentralized"),
+        choices=("centralized", "decentralized", "batch"),
         default="decentralized",
     )
     sweep_parser.add_argument(
@@ -1018,7 +1044,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     capture_parser.add_argument(
         "--kind",
-        choices=("centralized", "decentralized"),
+        choices=("centralized", "decentralized", "batch"),
         default="decentralized",
     )
     capture_parser.add_argument(
@@ -1063,6 +1089,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace destination (default: trace.chrome.json)",
     )
     export_parser.set_defaults(handler=_cmd_trace)
+
+    plane_parser = subparsers.add_parser(
+        "plane", help="inspect the plane-tagged systems registry"
+    )
+    plane_sub = plane_parser.add_subparsers(dest="action", required=True)
+    info_parser = plane_sub.add_parser(
+        "info",
+        help=(
+            "resolve a system (bare or plane-qualified like batch/hopper) "
+            "and print its plane, description and spec-kind knobs"
+        ),
+    )
+    info_parser.add_argument(
+        "system", help="system name, optionally qualified as plane/name"
+    )
+    info_parser.add_argument(
+        "--plane",
+        default=None,
+        help="disambiguate a bare name registered on several planes",
+    )
+    info_parser.set_defaults(handler=_cmd_plane)
 
     workload_parser = subparsers.add_parser(
         "workload", help="workload / arrival-stream inspection helpers"

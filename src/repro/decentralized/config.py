@@ -61,6 +61,14 @@ class DecentralizedConfig:
     nudge_probes:
         Fresh probes sent when a job has unmet demand but its requests
         have gone quiet (liveness valve for drained queues).
+    late_binding:
+        Sparrow late binding: a probe reserves a slot without carrying
+        a task; the worker pulls the concrete task when the slot is
+        ready to execute (one extra message round-trip per launch).
+    power_of_d:
+        Probe-target oversampling factor: sample ``d`` times the probe
+        count uniformly and keep the least-loaded workers. ``1`` is
+        plain uniform sampling (byte-identical to the stock path).
     """
 
     num_schedulers: int = 10
@@ -76,6 +84,8 @@ class DecentralizedConfig:
     network_rate: float = 1.0
     nudge_probes: int = 2
     max_probes_per_job: int = 2000
+    late_binding: bool = False
+    power_of_d: int = 1
 
     def __post_init__(self) -> None:
         if self.num_schedulers <= 0:
@@ -94,3 +104,5 @@ class DecentralizedConfig:
             raise ValueError("nudge_probes must be non-negative")
         if self.max_probes_per_job < 1:
             raise ValueError("max_probes_per_job must be positive")
+        if self.power_of_d < 1:
+            raise ValueError("power_of_d must be >= 1")

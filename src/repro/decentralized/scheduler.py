@@ -77,6 +77,7 @@ class SchedulerAgent:
         self._spec_eligible_requests = (
             config.worker_policy is WorkerPolicy.HOPPER
         )
+        self._late_binding = config.late_binding
         self._send = sim.send
         self._counters = sim._counters  # None unless observability is on
 
@@ -243,6 +244,10 @@ class SchedulerAgent:
         sj.last_activity = self._engine._now
         self._refresh_gossip(sj)
 
+        if self._late_binding:
+            self._offer_reservation(worker, episode, request, rtype, sj)
+            return
+
         task = sj.next_pending()
         speculative = False
         if task is None and request.spec_ok:
@@ -276,6 +281,71 @@ class SchedulerAgent:
         self._send(
             worker.on_refuse, episode, request, self._smallest_unsatisfied()
         )
+
+    # -- Sparrow late binding -------------------------------------------------
+
+    def _offer_reservation(
+        self,
+        worker: "Worker",
+        episode: "Episode",
+        request,
+        rtype: ResponseType,
+        sj: SchedulerJob,
+    ) -> None:
+        """Late-binding accept path: grant a reservation without picking
+        a task; the concrete task is popped when the worker pulls it
+        (:meth:`on_pull`), one message round-trip later."""
+        wants = sj.has_pending()
+        if not wants and request.spec_ok:
+            below_virtual = sj.occupied < sj.gossip.virtual_size
+            allowed = (
+                rtype is ResponseType.NON_REFUSABLE
+                or below_virtual
+                or sj.gossip.starved
+            )
+            if allowed and self._next_speculative_task(sj) is not None:
+                wants = True
+        if wants:
+            sj.occupied += 1  # reserve eagerly; released on pull miss
+            self._send(worker.on_reserve, episode, request)
+            return
+        if not self._has_demand(sj) and sj.occupied == 0:
+            self._send(worker.on_no_task, episode, request)
+            return
+        self._send(
+            worker.on_refuse, episode, request, self._smallest_unsatisfied()
+        )
+
+    def on_pull(self, worker: "Worker", episode: "Episode", request) -> None:
+        """Redeem a late-binding reservation for a concrete task.
+
+        The task is bound only now, at execution time — the whole point
+        of late binding: whichever reservation's worker frees up first
+        gets the job's next pending task. If demand evaporated between
+        reserve and pull (another reservation drained the queue), the
+        reservation is released and the worker told there is no task.
+        """
+        job_id = request.gossip.job_id
+        sj = self.jobs.get(job_id)
+        if sj is None or sj.job.is_complete:
+            # Job completion already dropped its bookkeeping; nothing to
+            # release.
+            self._send(worker.on_no_task, episode, request)
+            return
+        sj.last_activity = self._engine._now
+        self._refresh_gossip(sj)
+        task = sj.next_pending()
+        speculative = False
+        if task is None and request.spec_ok:
+            task = self._next_speculative_task(sj)
+            speculative = task is not None
+        if task is not None:
+            self._send(
+                worker.on_accept, episode, request, task, speculative
+            )
+            return
+        sj.occupied -= 1  # release the reservation granted at offer time
+        self._send(worker.on_no_task, episode, request)
 
     # -- execution callbacks (data plane) ------------------------------------
 

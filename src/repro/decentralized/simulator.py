@@ -144,6 +144,7 @@ class DecentralizedSimulator:
         self.blacklist_policy = blacklist_policy
         self._slots_per_worker = slots_per_worker
         self._sample_pool: List[Worker] = self.workers
+        self._power_of_d = self.config.power_of_d
         self.cluster: Optional[Cluster] = None
         if blacklist_policy is not None:
             self.cluster = Cluster(
@@ -202,13 +203,33 @@ class DecentralizedSimulator:
             fn(*args)
 
     def sample_workers(self, count: int) -> List[Worker]:
-        """Uniformly sample ``count`` distinct non-evicted workers (all,
-        if fewer). Without a blacklist policy the pool is the full
-        worker list — the same object, so entropy use is unchanged."""
+        """Sample ``count`` distinct non-evicted workers (all, if fewer).
+
+        With ``power_of_d == 1`` (the default) this is plain uniform
+        sampling over the pool — without a blacklist policy the pool is
+        the full worker list, the same object, so entropy use is
+        unchanged. With ``power_of_d > 1`` the sampler draws ``d x
+        count`` candidates uniformly and keeps the ``count``
+        least-loaded (queue depth plus busy slots; ties keep the draw
+        order, so the choice is deterministic given the draw).
+        """
         pool = self._sample_pool
         if count >= len(pool):
             return list(pool)
-        return self.rng.sample(pool, count)
+        d = self._power_of_d
+        if d == 1:
+            return self.rng.sample(pool, count)
+        candidates = self.rng.sample(pool, min(count * d, len(pool)))
+        if len(candidates) <= count:
+            return candidates
+        order = sorted(
+            range(len(candidates)),
+            key=lambda i: (
+                len(candidates[i].queue) + candidates[i].busy_slots,
+                i,
+            ),
+        )
+        return [candidates[i] for i in order[:count]]
 
     def gossip_for(self, job_id: int):
         """Latest gossip for a job, or None if it completed."""

@@ -352,6 +352,15 @@ class Worker:
         # More slots may still be free (multi-slot workers).
         self.maybe_start_episode()
 
+    def on_reserve(self, episode: Episode, request: Request) -> None:
+        """Late binding: the scheduler granted a reservation without a
+        task. The slot is ready right now, so pull the concrete task —
+        the extra round-trip is the price of binding at execution time.
+        The episode's slot promise stays held until the pull resolves
+        (:meth:`on_accept` or :meth:`on_no_task`)."""
+        scheduler = self.sim.schedulers[request.gossip.scheduler_id]
+        self.sim.send(scheduler.on_pull, self, episode, request)
+
     def on_refuse(
         self,
         episode: Episode,

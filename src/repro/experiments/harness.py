@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro import registry
+from repro.batch.simulator import BatchSimulator
 from repro.centralized.config import CentralizedConfig, SpeculationMode
 from repro.centralized.policies import CentralizedPolicy
 from repro.centralized.simulator import CentralizedSimulator
@@ -76,16 +77,22 @@ def default_straggler_model(profile: WorkloadProfile) -> StragglerModel:
 
 
 def _centralized_system(
-    name: str, epsilon: float
+    name: str,
+    epsilon: float,
+    systems: Optional[registry.Registry] = None,
 ) -> tuple[CentralizedPolicy, SpeculationMode]:
-    """Resolve a centralized scheduler family member: the policy plus
-    its registered default speculation mode.
+    """Resolve a centralized-family scheduler: the policy plus its
+    registered default speculation mode.
 
+    ``systems`` selects the registry (``CENTRALIZED_SYSTEMS`` by
+    default; the batch plane resolves through ``BATCH_SYSTEMS``).
     Plain-callable registrations (no
     :class:`~repro.registry.CentralizedSystemDefaults` wrapper) default
     to BEST_EFFORT, the mode every non-Hopper baseline runs under.
     """
-    entry = registry.CENTRALIZED_SYSTEMS.get(name.lower())
+    if systems is None:
+        systems = registry.CENTRALIZED_SYSTEMS
+    entry = systems.get(name.lower())
     mode_name = getattr(entry.factory, "speculation_mode", None)
     mode = (
         SpeculationMode(mode_name)
@@ -185,7 +192,58 @@ def build_centralized_simulator(
     :mod:`repro.cluster.policy`). The serving driver builds through
     here too, then primes the engine before calling ``run()``.
     """
-    policy_obj, default_mode = _centralized_system(policy, epsilon)
+    return CentralizedSimulator(
+        **_centralized_family_kwargs(
+            trace,
+            policy,
+            spec,
+            registry.CENTRALIZED_SYSTEMS,
+            speculation=speculation,
+            epsilon=epsilon,
+            locality_k_percent=locality_k_percent,
+            speculation_mode=speculation_mode,
+            straggler_model=straggler_model,
+            with_locality=with_locality,
+            slots_per_machine=slots_per_machine,
+            run_seed=run_seed,
+            config=config,
+            blacklist_policy=blacklist_policy,
+            strike_threshold=strike_threshold,
+            strike_window=strike_window,
+            eviction_cap=eviction_cap,
+            obs=obs,
+        )
+    )
+
+
+def _centralized_family_kwargs(
+    trace: Trace,
+    policy: str,
+    spec: WorkloadSpec,
+    systems: registry.Registry,
+    speculation: str,
+    epsilon: float,
+    locality_k_percent: float,
+    speculation_mode: Optional[SpeculationMode],
+    straggler_model: Union[StragglerModel, str, None],
+    with_locality: bool,
+    slots_per_machine: int,
+    run_seed: int,
+    config: Optional[CentralizedConfig],
+    blacklist_policy: Union[BlacklistPolicy, str, None],
+    strike_threshold: Optional[int],
+    strike_window: Optional[float],
+    eviction_cap: Optional[float],
+    obs,
+) -> dict:
+    """Constructor kwargs shared by the centralized and batch planes.
+
+    Both planes build the exact same cluster, config, and seed
+    hierarchy — the batch plane only adds *when* dispatch happens, so
+    keeping construction common here guarantees the entropy streams
+    stay aligned between them.
+    """
+    policy_obj, default_mode = _centralized_system(policy, epsilon, systems)
     if speculation_mode is None:
         speculation_mode = default_mode
     num_machines = max(1, spec.total_slots // slots_per_machine)
@@ -205,7 +263,7 @@ def build_centralized_simulator(
             speculation_mode=speculation_mode,
             default_beta=spec.profile.beta,
         )
-    return CentralizedSimulator(
+    return dict(
         cluster=cluster,
         policy=policy_obj,
         speculation=lambda: make_speculation_policy(speculation),
@@ -228,13 +286,84 @@ def build_centralized_simulator(
 
 
 def run_centralized(
-    trace: Trace, policy: str, spec: WorkloadSpec, **kwargs
+    trace: Trace,
+    policy: str,
+    spec: WorkloadSpec,
+    until: Optional[float] = None,
+    **kwargs,
 ) -> SimulationResult:
     """Replay ``trace`` under one centralized policy (build, then run).
 
     See :func:`build_centralized_simulator` for every keyword.
     """
-    return build_centralized_simulator(trace, policy, spec, **kwargs).run()
+    simulator = build_centralized_simulator(trace, policy, spec, **kwargs)
+    return simulator.run(until=until)
+
+
+def build_batch_simulator(
+    trace: Trace,
+    policy: str,
+    spec: WorkloadSpec,
+    round_interval: float = 0.5,
+    speculation: str = "late",
+    epsilon: float = 0.1,
+    locality_k_percent: float = 3.0,
+    speculation_mode: Optional[SpeculationMode] = None,
+    straggler_model: Union[StragglerModel, str, None] = None,
+    with_locality: bool = False,
+    slots_per_machine: int = 4,
+    run_seed: int = 7,
+    config: Optional[CentralizedConfig] = None,
+    blacklist_policy: Union[BlacklistPolicy, str, None] = None,
+    strike_threshold: Optional[int] = None,
+    strike_window: Optional[float] = None,
+    eviction_cap: Optional[float] = None,
+    obs=_OBS_FROM_ENV,
+) -> BatchSimulator:
+    """Construct (without running) a batch-plane simulator for ``trace``.
+
+    Same surface as :func:`build_centralized_simulator` plus
+    ``round_interval``, the period of the recurring scheduling round.
+    ``policy`` names an entry of :data:`repro.registry.BATCH_SYSTEMS`.
+    """
+    return BatchSimulator(
+        round_interval=round_interval,
+        **_centralized_family_kwargs(
+            trace,
+            policy,
+            spec,
+            registry.BATCH_SYSTEMS,
+            speculation=speculation,
+            epsilon=epsilon,
+            locality_k_percent=locality_k_percent,
+            speculation_mode=speculation_mode,
+            straggler_model=straggler_model,
+            with_locality=with_locality,
+            slots_per_machine=slots_per_machine,
+            run_seed=run_seed,
+            config=config,
+            blacklist_policy=blacklist_policy,
+            strike_threshold=strike_threshold,
+            strike_window=strike_window,
+            eviction_cap=eviction_cap,
+            obs=obs,
+        ),
+    )
+
+
+def run_batch(
+    trace: Trace,
+    policy: str,
+    spec: WorkloadSpec,
+    until: Optional[float] = None,
+    **kwargs,
+) -> SimulationResult:
+    """Replay ``trace`` under the batch plane (build, then run).
+
+    See :func:`build_batch_simulator` for every keyword.
+    """
+    simulator = build_batch_simulator(trace, policy, spec, **kwargs)
+    return simulator.run(until=until)
 
 
 def build_decentralized_simulator(
@@ -246,6 +375,7 @@ def build_decentralized_simulator(
     epsilon: Optional[float] = None,
     refusal_threshold: int = 2,
     num_schedulers: int = 10,
+    power_of_d: Optional[int] = None,
     straggler_model: Union[StragglerModel, str, None] = None,
     run_seed: int = 7,
     config: Optional[DecentralizedConfig] = None,
@@ -276,6 +406,14 @@ def build_decentralized_simulator(
             refusal_threshold=refusal_threshold,
             num_schedulers=num_schedulers,
             default_beta=spec.profile.beta,
+            # getattr: custom registrations may hand back bare objects
+            # without the late-binding/power-of-d fields.
+            late_binding=getattr(defaults, "late_binding", False),
+            power_of_d=(
+                power_of_d
+                if power_of_d is not None
+                else getattr(defaults, "power_of_d", 1)
+            ),
         )
     return DecentralizedSimulator(
         num_workers=spec.total_slots,
@@ -310,4 +448,63 @@ def run_decentralized(
     See :func:`build_decentralized_simulator` for every keyword.
     """
     simulator = build_decentralized_simulator(trace, system, spec, **kwargs)
+    return simulator.run(until=until)
+
+
+# --------------------------------------------------------------------------
+# The plane-agnostic surface
+# --------------------------------------------------------------------------
+
+#: plane name -> the per-plane builder it dispatches to. Planes without
+#: a direct simulator (serving wraps a plane; single_job synthesizes its
+#: own trace) are deliberately absent.
+_PLANE_BUILDERS = {
+    "centralized": build_centralized_simulator,
+    "decentralized": build_decentralized_simulator,
+    "batch": build_batch_simulator,
+}
+
+
+def build_simulator(
+    system: str,
+    trace: Trace,
+    spec: WorkloadSpec,
+    plane: Optional[str] = None,
+    **knobs,
+):
+    """Construct a simulator for any plane, resolved by system name.
+
+    ``system`` resolves through the plane-tagged
+    :data:`repro.registry.SYSTEMS` table: pass a qualified name like
+    ``"batch/hopper"``, or a bare name plus ``plane=``, or a bare name
+    alone when it is registered on exactly one plane. Remaining
+    ``knobs`` go to the plane's builder
+    (:func:`build_centralized_simulator`,
+    :func:`build_decentralized_simulator`, or
+    :func:`build_batch_simulator`).
+    """
+    entry = registry.SYSTEMS.get(system, plane=plane)
+    try:
+        builder = _PLANE_BUILDERS[entry.plane]
+    except KeyError:
+        raise ValueError(
+            f"plane {entry.plane!r} has no direct simulator builder "
+            f"(valid planes: {', '.join(_PLANE_BUILDERS)}); serving "
+            f"runs go through repro.serving.driver.run_serving"
+        ) from None
+    return builder(trace, entry.name, spec, **knobs)
+
+
+def run_simulator(
+    system: str,
+    trace: Trace,
+    spec: WorkloadSpec,
+    until: Optional[float] = None,
+    plane: Optional[str] = None,
+    **knobs,
+) -> SimulationResult:
+    """Build and run a simulator for any plane (see
+    :func:`build_simulator`). ``until=`` bounds the virtual horizon on
+    every plane alike."""
+    simulator = build_simulator(system, trace, spec, plane=plane, **knobs)
     return simulator.run(until=until)

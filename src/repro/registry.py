@@ -28,11 +28,19 @@ end-to-end (spec -> sweep -> study -> CLI) with no other edits:
 Registries
 ----------
 ``SPEC_KINDS``
-    Run shapes: ``centralized``, ``decentralized``, ``single_job``. Each
-    kind carries its systems sub-registry, its knob schema, and the
-    executor that turns a :class:`~repro.sweep.spec.RunSpec` into a
+    Run shapes: ``centralized``, ``decentralized``, ``batch``,
+    ``single_job``, ``serving``. Each kind carries its systems
+    sub-registry, its knob schema, and the executor that turns a
+    :class:`~repro.sweep.spec.RunSpec` into a
     :class:`~repro.metrics.collector.SimulationResult`.
-``CENTRALIZED_SYSTEMS`` / ``DECENTRALIZED_SYSTEMS`` / ``SINGLE_JOB_SYSTEMS``
+``SYSTEMS``
+    The plane-tagged view over every system registry: each entry
+    carries its ``plane`` (``centralized`` / ``decentralized`` /
+    ``batch`` / ``single_job`` / ``serving``) next to the per-plane
+    entry. The per-plane registries below remain the storage, so they
+    double as filtered back-compat views.
+``CENTRALIZED_SYSTEMS`` / ``DECENTRALIZED_SYSTEMS`` / ``BATCH_SYSTEMS`` /
+``SINGLE_JOB_SYSTEMS`` / ``SERVING_SYSTEMS``
     Schedulers per kind.
 ``SPECULATION_POLICIES``
     Straggler-mitigation algorithms (LATE, Mantri, GRASS, none).
@@ -275,6 +283,7 @@ class SpecKind:
 SPEC_KINDS = Registry("spec kind")
 CENTRALIZED_SYSTEMS = Registry("centralized system")
 DECENTRALIZED_SYSTEMS = Registry("decentralized system")
+BATCH_SYSTEMS = Registry("batch system")
 SINGLE_JOB_SYSTEMS = Registry("single_job system")
 SERVING_SYSTEMS = Registry("serving system")
 SPECULATION_POLICIES = Registry("speculation policy")
@@ -284,6 +293,142 @@ WORKLOAD_PROFILES = Registry("workload profile")
 STUDIES = Registry("study")
 
 
+# --------------------------------------------------------------------------
+# The plane-tagged systems table
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """One system seen through :data:`SYSTEMS`: a plane tag plus the
+    underlying per-plane :class:`Entry`."""
+
+    plane: str
+    entry: Entry
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def factory(self) -> Any:
+        return self.entry.factory
+
+    @property
+    def description(self) -> str:
+        return self.entry.description
+
+    @property
+    def knobs(self) -> Mapping[str, Knob]:
+        return self.entry.knobs
+
+    @property
+    def qualified(self) -> str:
+        """The unambiguous ``plane/name`` form of this system."""
+        return f"{self.plane}/{self.entry.name}"
+
+
+class SystemsTable:
+    """A live plane-tagged view over the per-plane system registries.
+
+    The per-plane registries (``CENTRALIZED_SYSTEMS`` et al.) stay the
+    storage — registering through either surface is visible through
+    both, so existing ``register()`` call sites and plugin teardown keep
+    working unchanged. Lookups accept a bare name (when unambiguous), a
+    qualified ``plane/name`` string, or an explicit ``plane=`` keyword.
+    """
+
+    def __init__(self, planes: Mapping[str, Registry]) -> None:
+        self._planes: Dict[str, Registry] = dict(planes)
+
+    def planes(self) -> Tuple[str, ...]:
+        return tuple(self._planes)
+
+    def plane(self, name: str) -> Registry:
+        """The per-plane registry backing one plane (the filtered view)."""
+        try:
+            return self._planes[name]
+        except KeyError:
+            raise UnknownEntryError(
+                f"unknown scheduler plane {name!r}; "
+                f"valid planes: {', '.join(self._planes)}"
+            ) from None
+
+    def register(
+        self, plane: str, name: str, factory: Any, **kwargs: Any
+    ) -> Entry:
+        """Register a system on ``plane`` (delegates to its registry)."""
+        return self.plane(plane).register(name, factory, **kwargs)
+
+    def get(self, system: str, plane: Optional[str] = None) -> SystemEntry:
+        """Resolve ``system`` to a :class:`SystemEntry`.
+
+        ``system`` may be qualified (``"batch/hopper"``); a bare name is
+        accepted only when it exists on exactly one plane — otherwise
+        the error lists the qualified candidates.
+        """
+        if plane is None and "/" in system:
+            plane, _, system = system.partition("/")
+        if plane is not None:
+            return SystemEntry(plane, self.plane(plane).get(system))
+        hits = [
+            SystemEntry(p, reg.get(system))
+            for p, reg in self._planes.items()
+            if system in reg
+        ]
+        if not hits:
+            raise UnknownEntryError(
+                f"unknown system {system!r}; registered systems: "
+                f"{', '.join(self.names()) or '(none)'}"
+            )
+        if len(hits) > 1:
+            qualified = ", ".join(hit.qualified for hit in hits)
+            raise RegistryError(
+                f"system name {system!r} is registered on several planes "
+                f"({qualified}); qualify it as plane/name or pass plane="
+            )
+        return hits[0]
+
+    def entries(self) -> Tuple[SystemEntry, ...]:
+        return tuple(
+            SystemEntry(p, e)
+            for p, reg in self._planes.items()
+            for e in reg.entries()
+        )
+
+    def names(self) -> Tuple[str, ...]:
+        """Qualified ``plane/name`` strings for every registered system."""
+        return tuple(entry.qualified for entry in self.entries())
+
+    def __contains__(self, system: object) -> bool:
+        if not isinstance(system, str):
+            return False
+        if "/" in system:
+            plane, _, name = system.partition("/")
+            reg = self._planes.get(plane)
+            return reg is not None and name in reg
+        return any(system in reg for reg in self._planes.values())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return sum(len(reg) for reg in self._planes.values())
+
+    def __repr__(self) -> str:
+        return f"SystemsTable({list(self._planes)})"
+
+
+SYSTEMS = SystemsTable(
+    {
+        "centralized": CENTRALIZED_SYSTEMS,
+        "decentralized": DECENTRALIZED_SYSTEMS,
+        "batch": BATCH_SYSTEMS,
+        "single_job": SINGLE_JOB_SYSTEMS,
+        "serving": SERVING_SYSTEMS,
+    }
+)
+
+
 def spec_kind(name: str) -> SpecKind:
     """Resolve a registered :class:`SpecKind` by name."""
     return SPEC_KINDS.get(name).factory
@@ -291,6 +436,7 @@ def spec_kind(name: str) -> SpecKind:
 
 def studies() -> Registry:
     """The study registry, with the built-in studies loaded."""
+    import repro.experiments.batch  # noqa: F401  (batch_rounds study)
     import repro.experiments.blacklist  # noqa: F401  (registers blacklist)
     import repro.experiments.blacklist_policy  # noqa: F401  (eviction study)
     import repro.experiments.figures  # noqa: F401  (registers studies)
@@ -399,11 +545,21 @@ CENTRALIZED_SYSTEMS.register(
 
 @dataclass(frozen=True)
 class DecentralizedSystemDefaults:
-    """Per-system defaults the paper uses for the decentralized runs."""
+    """Per-system defaults the paper uses for the decentralized runs.
+
+    ``late_binding`` switches the probe protocol to Sparrow's
+    late-binding mode (probes reserve a slot; the worker pulls the
+    concrete task at execution time). ``power_of_d`` oversamples the
+    probe targets ``d``-fold and keeps the least-loaded workers;
+    ``1`` is plain uniform sampling and leaves the entropy stream
+    untouched.
+    """
 
     worker_policy: Any
     probe_ratio: float
     epsilon: float
+    late_binding: bool = False
+    power_of_d: int = 1
 
 
 def _sparrow_defaults() -> DecentralizedSystemDefaults:
@@ -424,6 +580,22 @@ def _decentralized_hopper_defaults() -> DecentralizedSystemDefaults:
     return DecentralizedSystemDefaults(WorkerPolicy.HOPPER, 4.0, 0.1)
 
 
+def _sparrow_lb_defaults() -> DecentralizedSystemDefaults:
+    from repro.decentralized.config import WorkerPolicy
+
+    return DecentralizedSystemDefaults(
+        WorkerPolicy.FIFO, 2.0, 1.0, late_binding=True
+    )
+
+
+def _sparrow_po2_defaults() -> DecentralizedSystemDefaults:
+    from repro.decentralized.config import WorkerPolicy
+
+    return DecentralizedSystemDefaults(
+        WorkerPolicy.FIFO, 2.0, 1.0, power_of_d=2
+    )
+
+
 DECENTRALIZED_SYSTEMS.register(
     "sparrow",
     _sparrow_defaults,
@@ -438,6 +610,38 @@ DECENTRALIZED_SYSTEMS.register(
     "hopper",
     _decentralized_hopper_defaults,
     description="decentralized Hopper (d=4, epsilon=0.1 fairness)",
+)
+DECENTRALIZED_SYSTEMS.register(
+    "sparrow-lb",
+    _sparrow_lb_defaults,
+    description=(
+        "Sparrow with late binding: probes reserve, workers pull the "
+        "task at execution time"
+    ),
+)
+DECENTRALIZED_SYSTEMS.register(
+    "sparrow-po2",
+    _sparrow_po2_defaults,
+    description=(
+        "Sparrow with power-of-2 probe sampling (oversample, keep the "
+        "least-loaded)"
+    ),
+)
+
+BATCH_SYSTEMS.register(
+    "fair",
+    CentralizedSystemDefaults(_fair_factory, speculation_mode="best_effort"),
+    description="periodic rounds of max-min fair sharing",
+)
+BATCH_SYSTEMS.register(
+    "srpt",
+    CentralizedSystemDefaults(_srpt_factory, speculation_mode="best_effort"),
+    description="periodic rounds of SRPT allocation",
+)
+BATCH_SYSTEMS.register(
+    "hopper",
+    CentralizedSystemDefaults(_hopper_factory, speculation_mode="integrated"),
+    description="periodic rounds of Hopper allocation over the buffer",
 )
 
 SINGLE_JOB_SYSTEMS.register(
@@ -726,6 +930,27 @@ def _run_decentralized_spec(spec):
     )
 
 
+def _run_batch_spec(spec):
+    from repro.experiments.harness import build_trace, run_batch
+
+    wspec = spec.workload.to_workload_spec()
+    trace = build_trace(wspec)
+    kwargs = {k: v for k, v in spec.knobs}
+    mode = kwargs.pop("speculation_mode", None)
+    if mode is not None:
+        from repro.centralized.config import SpeculationMode
+
+        kwargs["speculation_mode"] = SpeculationMode(mode)
+    return run_batch(
+        trace,
+        spec.system,
+        wspec,
+        speculation=spec.speculation,
+        run_seed=spec.run_seed,
+        **kwargs,
+    )
+
+
 def _run_single_job_spec(spec):
     """Fig. 3's one-job threshold experiment as a registrable spec kind.
 
@@ -928,8 +1153,39 @@ _DECENTRALIZED_KNOBS = (
         description="optional simulation horizon (virtual seconds)",
         validator=lambda v: v > 0.0,
     ),
+    Knob(
+        "power_of_d",
+        type=int,
+        default=1,
+        description=(
+            "probe-target oversampling: sample d x the probes, keep the "
+            "least-loaded (1 = plain uniform sampling)"
+        ),
+        validator=lambda v: v >= 1,
+    ),
     _straggler_model_knob(),
     *_blacklist_knobs(),
+)
+
+_BATCH_KNOBS = (
+    *_CENTRALIZED_KNOBS,
+    Knob(
+        "round_interval",
+        type=float,
+        default=0.5,
+        description=(
+            "periodic scheduling-round interval (virtual seconds; 0 = "
+            "a round per event batch, converging to per-arrival)"
+        ),
+        validator=lambda v: v >= 0.0,
+    ),
+    Knob(
+        "until",
+        type=float,
+        default=None,
+        description="optional simulation horizon (virtual seconds)",
+        validator=lambda v: v > 0.0,
+    ),
 )
 
 _SERVING_KNOBS = (
@@ -1025,6 +1281,20 @@ SPEC_KINDS.register(
     description="Sparrow-style probe-based schedulers (the paper's scale)",
 )
 SPEC_KINDS.register(
+    "batch",
+    SpecKind(
+        name="batch",
+        systems=BATCH_SYSTEMS,
+        knobs={knob.name: knob for knob in _BATCH_KNOBS},
+        run=_run_batch_spec,
+        description=(
+            "periodic scheduling rounds over an accumulated pending "
+            "buffer (Firmament-style batch mode)"
+        ),
+    ),
+    description="periodic batch-mode rounds over a pending buffer",
+)
+SPEC_KINDS.register(
     "single_job",
     SpecKind(
         name="single_job",
@@ -1062,12 +1332,16 @@ __all__ = [
     "DuplicateEntryError",
     "KnobError",
     "SpecKind",
+    "SystemEntry",
+    "SystemsTable",
     "CentralizedSystemDefaults",
     "DecentralizedSystemDefaults",
     "ServingSystem",
     "SPEC_KINDS",
+    "SYSTEMS",
     "CENTRALIZED_SYSTEMS",
     "DECENTRALIZED_SYSTEMS",
+    "BATCH_SYSTEMS",
     "SINGLE_JOB_SYSTEMS",
     "SERVING_SYSTEMS",
     "SPECULATION_POLICIES",

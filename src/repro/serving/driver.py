@@ -27,8 +27,7 @@ from repro import registry
 from repro.experiments.harness import (
     _OBS_FROM_ENV,
     WorkloadSpec,
-    build_centralized_simulator,
-    build_decentralized_simulator,
+    build_simulator,
 )
 from repro.metrics.collector import SimulationResult
 from repro.serving.arrivals import (
@@ -173,6 +172,17 @@ def _decentralized_probe(simulator) -> _PlaneProbe:
     )
 
 
+#: plane name -> probe factory. The batch plane shares the centralized
+#: probe: BatchSimulator subclasses CentralizedSimulator, and its
+#: (buffering) ``_on_job_arrival`` is exactly the injection point the
+#: open-loop driver should feed.
+_PLANE_PROBES = {
+    "centralized": _centralized_probe,
+    "decentralized": _decentralized_probe,
+    "batch": _centralized_probe,
+}
+
+
 def _schedule_samples(
     engine: Simulator,
     aggregator: WindowedAggregator,
@@ -215,7 +225,7 @@ def run_serving(
     the Pareto shape of the whole-job multiplier. The result carries the
     windowed steady-state section in ``result.serving``.
     """
-    if plane not in ("centralized", "decentralized"):
+    if plane not in _PLANE_PROBES:
         raise ValueError(f"unknown serving plane {plane!r}")
     source = RandomSource(seed=spec.seed)
     generator = TraceGenerator(
@@ -249,28 +259,17 @@ def run_serving(
     )
 
     empty_trace = Trace(jobs=[])
-    if plane == "centralized":
-        simulator = build_centralized_simulator(
-            empty_trace,
-            system,
-            spec,
-            speculation=speculation,
-            straggler_model=straggler_model,
-            run_seed=run_seed,
-            obs=obs,
-        )
-        probe = _centralized_probe(simulator)
-    else:
-        simulator = build_decentralized_simulator(
-            empty_trace,
-            system,
-            spec,
-            speculation=speculation,
-            straggler_model=straggler_model,
-            run_seed=run_seed,
-            obs=obs,
-        )
-        probe = _decentralized_probe(simulator)
+    simulator = build_simulator(
+        system,
+        empty_trace,
+        spec,
+        plane=plane,
+        speculation=speculation,
+        straggler_model=straggler_model,
+        run_seed=run_seed,
+        obs=obs,
+    )
+    probe = _PLANE_PROBES[plane](simulator)
 
     aggregator = WindowedAggregator(regime)
     simulator.metrics.serving_window = aggregator

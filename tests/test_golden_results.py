@@ -69,6 +69,14 @@ GOLDEN_STUDY_DIGESTS = {
     "steady_state": (
         "0723414c5d0544e45d7b8d6bd2d7965b23a6998a8efc3044adeb99e19e755aca"
     ),
+    # Born in PR 8 (batch-mode plane): pinned at its first output. The
+    # study crosses the batch plane's round intervals against the
+    # per-arrival centralized baseline, so this digest freezes both the
+    # round/buffer event ordering and the fact that the baseline cells
+    # run the stock centralized entropy stream.
+    "batch_rounds": (
+        "a01c91fd15f9b2e5ae3e7583ea36f5336ec93a18892aee2aefd0b95a658d6332"
+    ),
 }
 
 
@@ -141,6 +149,9 @@ def test_scale_centralized_cell_spec_digest_is_pinned():
 #: of the centralized simulator on the shared runtime core must not
 #: shift any of them (results are covered by the study digests above).
 GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS = {
+    "batch_rounds": (
+        "679103e7ef6960ff289896982cd0f6503d928872af2bd0124b7ec2f539b351dd"
+    ),
     "blacklist": "a5379f2aedfb33f6645c4bf1a1b479b96860a833b17de2a58a45a9d9a6858d5a",
     "blacklist_policy": (
         "7df91627788687e8039f47c8af67580a358115097aaf1f315745bd91be942495"

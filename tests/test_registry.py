@@ -378,3 +378,86 @@ def test_repro_list_output_matches_registry_contents(capsys):
         assert name in out
     for name in registry.studies().names():
         assert name in out
+
+
+# -- plane-tagged systems table ---------------------------------------------
+
+
+def test_systems_table_planes_are_live_views():
+    """SYSTEMS is a view over the per-plane registries, not a copy:
+    the old names keep working and stay in sync."""
+    assert registry.SYSTEMS.plane("centralized") is registry.CENTRALIZED_SYSTEMS
+    assert (
+        registry.SYSTEMS.plane("decentralized")
+        is registry.DECENTRALIZED_SYSTEMS
+    )
+    assert registry.SYSTEMS.plane("batch") is registry.BATCH_SYSTEMS
+    assert registry.SYSTEMS.plane("serving") is registry.SERVING_SYSTEMS
+    with pytest.raises(registry.UnknownEntryError, match="scheduler plane"):
+        registry.SYSTEMS.plane("bogus-plane")
+
+
+def test_systems_table_entries_carry_planes():
+    entries = registry.SYSTEMS.entries()
+    by_qualified = {entry.qualified: entry for entry in entries}
+    assert "centralized/hopper" in by_qualified
+    assert "decentralized/sparrow-lb" in by_qualified
+    assert "decentralized/sparrow-po2" in by_qualified
+    assert "batch/hopper" in by_qualified
+    for plane in ("centralized", "decentralized", "batch"):
+        view = registry.SYSTEMS.plane(plane)
+        tagged = [e.name for e in entries if e.plane == plane]
+        assert tagged == list(view.names())
+
+
+def test_systems_table_get_resolves_qualified_and_bare_names():
+    entry = registry.SYSTEMS.get("batch/hopper")
+    assert entry.plane == "batch"
+    assert entry.name == "hopper"
+    assert registry.SYSTEMS.get("hopper", plane="batch").qualified == (
+        "batch/hopper"
+    )
+    # sparrow-lb exists on exactly one plane -> bare name is enough.
+    assert registry.SYSTEMS.get("sparrow-lb").plane == "decentralized"
+
+
+def test_systems_table_ambiguous_bare_name_lists_candidates():
+    with pytest.raises(registry.RegistryError) as excinfo:
+        registry.SYSTEMS.get("hopper")
+    message = str(excinfo.value)
+    assert "centralized/hopper" in message
+    assert "batch/hopper" in message
+
+
+def test_systems_table_unknown_names_raise():
+    with pytest.raises(registry.UnknownEntryError):
+        registry.SYSTEMS.get("bogus-system")
+    with pytest.raises(registry.UnknownEntryError):
+        registry.SYSTEMS.get("bogus-plane/hopper")
+
+
+def test_systems_table_register_through_table_is_visible_in_view():
+    registry.SYSTEMS.register(
+        "batch", "test-system", object(), description="temp"
+    )
+    try:
+        assert "test-system" in registry.BATCH_SYSTEMS
+        assert registry.SYSTEMS.get("batch/test-system").description == "temp"
+    finally:
+        registry.BATCH_SYSTEMS.unregister("test-system")
+    with pytest.raises(registry.UnknownEntryError):
+        registry.SYSTEMS.get("batch/test-system")
+
+
+def test_repro_plane_info_resolves_qualified_system(capsys):
+    assert main(["plane", "info", "batch/hopper"]) == 0
+    out = capsys.readouterr().out
+    assert "batch" in out
+    assert "hopper" in out
+    assert "round_interval" in out
+
+
+def test_repro_plane_info_rejects_ambiguous_bare_name(capsys):
+    assert main(["plane", "info", "hopper"]) == 2
+    err = capsys.readouterr().err
+    assert "several planes" in err
