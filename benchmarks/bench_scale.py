@@ -34,14 +34,20 @@ from _tables import BENCH_SCHEMA_VERSION, print_table, write_bench_json  # noqa:
 
 #: (total_slots, num_jobs) points per mode; the decentralized axis runs
 #: the paper's recommended probe ratio d=4. --quick must still cover the
-#: >=10k regime on both axes.
+#: >=10k regime on both axes, plus the 100k-slot row the incremental
+#: allocation engine opened up (CI gates it like any other row).
 FULL_GRID: Sequence[Tuple[int, int]] = (
     (1000, 150),
     (5000, 150),
     (10000, 150),
     (20000, 150),
+    (100000, 150),
 )
-QUICK_GRID: Sequence[Tuple[int, int]] = ((2000, 40), (10000, 80))
+QUICK_GRID: Sequence[Tuple[int, int]] = (
+    (2000, 40),
+    (10000, 80),
+    (100000, 100),
+)
 
 SYSTEMS = ("decentralized", "centralized", "batch")
 

@@ -29,7 +29,7 @@ test).
 
 from __future__ import annotations
 
-from repro.centralized.simulator import CentralizedSimulator, _JobRuntime
+from repro.centralized.simulator import CentralizedSimulator
 from repro.workload.job import Job
 
 
@@ -50,22 +50,14 @@ class BatchSimulator(CentralizedSimulator):
     # ------------------------------------------------------------- events ----
 
     def _on_job_arrival(self, job: Job) -> None:
-        # Same bookkeeping as the per-arrival plane, minus the immediate
-        # reschedule: the job waits in the buffer for the next round.
-        if self._tracer is not None:
-            self._tracer.begin(
-                "job",
-                "job",
-                ("job", job.job_id),
-                self.sim.now,
-                job=job.job_id,
-                tasks=job.num_tasks,
-            )
-        if self.datastore is not None:
-            self.datastore.place_job_inputs(job)
-        jr = _JobRuntime(job, self.speculation_factory())
-        jr.activate_runnable_phases()
-        self._jobs[job.job_id] = jr
+        # Same bookkeeping as the per-arrival plane (shared `_admit_job`,
+        # which also reserves the job's slot in the incremental
+        # allocator), minus the immediate reschedule: the job waits in
+        # the buffer for the next round. Because the allocation cache
+        # lives on the shared simulator core, a round only recomputes
+        # the jobs whose states changed since the previous round — the
+        # arrival/completion events in between just mark them dirty.
+        self._admit_job(job)
         self._ensure_round()
         self._ensure_spec_check()
 

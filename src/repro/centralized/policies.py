@@ -3,19 +3,35 @@
 A policy maps job states to integer slot targets and defines the order in
 which slot deficits are filled. The heavy lifting lives in
 :mod:`repro.core.allocation`; policies are thin, named adapters around it.
+
+Two hooks exist for the incremental allocation engine
+(:class:`repro.core.incremental.IncrementalAllocator`):
+
+* :meth:`CentralizedPolicy.sort_key` — the dispatch-order key. It MUST
+  end in the unique ``job_id`` (the engine's sorted container needs a
+  total order, and maps entries back to states by that trailing id).
+* :meth:`CentralizedPolicy.allocate_ordered` — the solve given
+  pre-maintained orders. The default falls back to the full
+  :meth:`allocate`; policies whose solve begins with a sort override it
+  so the maintained order is reused. An override must produce the same
+  ordering its :meth:`sort_key` defines — a subclass changing one must
+  change both.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import (
     JobAllocationState,
     fair_allocation,
     hopper_allocation,
+    hopper_allocation_ordered,
     srpt_allocation,
+    srpt_allocation_ordered,
 )
+from repro.core.fairness import fairness_floors as core_fairness_floors
 
 
 class CentralizedPolicy(ABC):
@@ -32,11 +48,45 @@ class CentralizedPolicy(ABC):
     ) -> Dict[int, int]:
         """Target slots per job id, summing to at most ``total_slots``."""
 
+    def sort_key(self, state: JobAllocationState) -> tuple:
+        """Dispatch-order sort key; must end in the unique ``job_id``."""
+        return (state.order_key, state.job_id)
+
     def dispatch_order(
         self, states: Sequence[JobAllocationState]
     ) -> List[JobAllocationState]:
         """Order in which deficits are filled when slots free up."""
-        return sorted(states, key=lambda s: (s.order_key, s.job_id))
+        return sorted(states, key=self.sort_key)
+
+    def fairness_floors(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Optional[Dict[int, int]]:
+        """Per-job minimum slot guarantees, or None for floor-free
+        policies. Floors depend only on membership, weights, and the
+        slot pool, so the incremental engine caches them across the
+        per-completion state churn."""
+        return None
+
+    def allocate_ordered(
+        self,
+        active: Sequence[JobAllocationState],
+        ascending: Sequence[JobAllocationState],
+        total_slots: int,
+        total_virtual: Optional[float] = None,
+        floors: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[int, int], Optional[str]]:
+        """Solve with pre-maintained orders: ``active`` in insertion
+        order (pre-filtered to ``remaining_tasks > 0``), ``ascending``
+        sorted by :meth:`sort_key`. ``total_virtual`` and ``floors``
+        are optional precomputed values (the insertion-order virtual
+        size sum and this policy's :meth:`fairness_floors`) the caller
+        may pass to skip recomputing them. Returns ``(targets,
+        regime)`` where ``regime`` is non-None only for
+        regime-switching policies.
+
+        The base falls back to the from-scratch solve — correct for any
+        policy, incremental for none."""
+        return self.allocate(active, total_slots), None
 
 
 class FairPolicy(CentralizedPolicy):
@@ -49,11 +99,22 @@ class FairPolicy(CentralizedPolicy):
     ) -> Dict[int, int]:
         return fair_allocation(states, total_slots)
 
-    def dispatch_order(
-        self, states: Sequence[JobAllocationState]
-    ) -> List[JobAllocationState]:
+    def sort_key(self, state: JobAllocationState) -> tuple:
         # Serve jobs round-robin-ish: fewest remaining first keeps parity.
-        return sorted(states, key=lambda s: (s.remaining_tasks, s.job_id))
+        return (state.remaining_tasks, state.job_id)
+
+    def allocate_ordered(
+        self,
+        active: Sequence[JobAllocationState],
+        ascending: Sequence[JobAllocationState],
+        total_slots: int,
+        total_virtual: Optional[float] = None,
+        floors: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[int, int], Optional[str]]:
+        # Water-filling iterates the insertion-ordered active list
+        # directly (no internal sort to hoist); the incremental win for
+        # fair is the cached states + memoized targets, not the solve.
+        return fair_allocation(active, total_slots), None
 
 
 class SRPTPolicy(CentralizedPolicy):
@@ -74,10 +135,29 @@ class SRPTPolicy(CentralizedPolicy):
             best_effort_speculation=self.best_effort_speculation,
         )
 
-    def dispatch_order(
-        self, states: Sequence[JobAllocationState]
-    ) -> List[JobAllocationState]:
-        return sorted(states, key=lambda s: (s.remaining_tasks, s.job_id))
+    def sort_key(self, state: JobAllocationState) -> tuple:
+        return (state.remaining_tasks, state.job_id)
+
+    def allocate_ordered(
+        self,
+        active: Sequence[JobAllocationState],
+        ascending: Sequence[JobAllocationState],
+        total_slots: int,
+        total_virtual: Optional[float] = None,
+        floors: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[int, int], Optional[str]]:
+        # sort_key == (remaining_tasks, job_id) == the solve's own
+        # ascending order, so the maintained dispatch order doubles as
+        # the solve order.
+        return (
+            srpt_allocation_ordered(
+                active,
+                ascending,
+                total_slots,
+                best_effort_speculation=self.best_effort_speculation,
+            ),
+            None,
+        )
 
 
 class HopperPolicy(CentralizedPolicy):
@@ -108,4 +188,29 @@ class HopperPolicy(CentralizedPolicy):
             total_slots,
             epsilon=self.epsilon,
             force_regime=self.force_regime,
+        )
+
+    def fairness_floors(
+        self, states: Sequence[JobAllocationState], total_slots: int
+    ) -> Optional[Dict[int, int]]:
+        return core_fairness_floors(states, total_slots, self.epsilon)
+
+    def allocate_ordered(
+        self,
+        active: Sequence[JobAllocationState],
+        ascending: Sequence[JobAllocationState],
+        total_slots: int,
+        total_virtual: Optional[float] = None,
+        floors: Optional[Dict[int, int]] = None,
+    ) -> Tuple[Dict[int, int], Optional[str]]:
+        # sort_key == (order_key, job_id) == the ascending virtual-size
+        # order Guideline 2/3 fill in.
+        return hopper_allocation_ordered(
+            active,
+            ascending,
+            total_slots,
+            epsilon=self.epsilon,
+            force_regime=self.force_regime,
+            total_virtual=total_virtual,
+            floors=floors,
         )

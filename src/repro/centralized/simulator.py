@@ -22,10 +22,20 @@ Scale-out notes (10k+-slot clusters):
   in ascending-id order, which consumes the same entropy and returns
   the same machine as the old ``rng.choice(scan)`` — replays are
   bit-identical (pinned by ``tests/test_golden_results.py``);
+* allocation state is **incremental** the same way: per-job
+  :class:`~repro.core.allocation.JobAllocationState` inputs are cached
+  on the runtime and recomputed only for jobs a task-finish dirtied
+  (plus a lazy sweep when the beta or alpha-history epoch moves), the
+  dispatch order lives in a delta-maintained sorted container, and
+  targets are memoized while nothing changed — see
+  :class:`repro.core.incremental.IncrementalAllocator`. The
+  from-scratch ``_allocation_states()`` builder is kept as the
+  reference the differential/property tests compare against;
 * trace arrivals are bulk-inserted with
   :meth:`~repro.simulation.engine.Simulator.schedule_many`;
 * the speculation-preemption sweep enumerates victims from the view's
-  live-speculative index instead of walking every live copy.
+  live-speculative index instead of walking every live copy, and only
+  visits jobs in the incrementally tracked live-speculation set.
 
 Blacklisting (§2.2): an optional
 :class:`~repro.cluster.policy.BlacklistPolicy` observes every copy
@@ -48,6 +58,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
 from repro.cluster.policy import BlacklistPolicy, evaluate_completion
 from repro.core.allocation import JobAllocationState
+from repro.core.incremental import IncrementalAllocator
 from repro.core.locality import pick_job_with_locality
 from repro.core.virtual_size import virtual_size
 from repro.estimation.alpha import AlphaEstimator
@@ -118,6 +129,11 @@ class CentralizedSimulator:
         "ledger",
         "_rng",
         "_jobs",
+        "_alloc",
+        "_alloc_beta",
+        "_alloc_history",
+        "_alloc_dirty_jobs",
+        "_spec_job_ids",
         "_spec_check_scheduled",
         "_jobs_completed",
         "_total_slots",
@@ -168,6 +184,13 @@ class CentralizedSimulator:
 
         self._rng = self.random_source.child("centralized").rng
         self._jobs: Dict[int, _JobRuntime] = {}
+        # Incremental allocation engine: cached per-job states, the
+        # delta-maintained dispatch order, and the targets memo.
+        self._alloc = IncrementalAllocator(policy)
+        self._alloc_beta: Optional[float] = None  # beta states were built at
+        self._alloc_history = -1  # alpha history version ditto
+        self._alloc_dirty_jobs: set = set()  # job ids needing recompute
+        self._spec_job_ids: set = set()  # jobs with live speculative copies
         self._spec_check_scheduled = False
         self._jobs_completed = 0
 
@@ -218,6 +241,13 @@ class CentralizedSimulator:
         return self.alpha_estimator.predict_alpha(job)
 
     def _allocation_states(self) -> List[JobAllocationState]:
+        """From-scratch allocation-state builder.
+
+        The hot path goes through :meth:`_refresh_allocation_states`
+        (incremental); this remains the reference implementation the
+        differential and property tests compare the cache against, so
+        any divergence between the two is a test failure rather than a
+        silently drifted replay."""
         beta = self._beta()
         states: List[JobAllocationState] = []
         for jr in self._jobs.values():
@@ -249,6 +279,85 @@ class CentralizedSimulator:
             )
         return states
 
+    def _refresh_job_state(
+        self, jr: _JobRuntime, beta: float, realpha: bool
+    ) -> None:
+        """Bring one job's cached allocation state up to date.
+
+        A dirty job re-reads its inputs (remaining tasks, alpha,
+        downstream virtual tasks) from the job structures; a clean job
+        reuses the cached inputs and only re-derives the beta-dependent
+        floats (``realpha`` additionally re-predicts alpha when the
+        estimator's history moved — another job's completion can change
+        a recurring job's prediction). Every float is computed by the
+        exact expression the from-scratch builder uses, on the exact
+        same inputs, so the resulting states are identical objects
+        field-for-field."""
+        job = jr.job
+        if jr.alloc_dirty:
+            jr.alloc_dirty = False
+            remaining = job.remaining_tasks()
+            jr.alloc_remaining = remaining
+            if remaining <= 0:
+                self._alloc.remove(job.job_id)
+                return
+            jr.alloc_alpha = self._job_alpha(job)
+            jr.alloc_downstream = 0.0
+            if self.policy.uses_virtual_sizes and job.num_phases > 1:
+                jr.alloc_downstream = job.downstream_virtual_tasks(
+                    self.config.network_rate
+                )
+        else:
+            remaining = jr.alloc_remaining
+            if remaining <= 0:
+                return
+            if realpha:
+                jr.alloc_alpha = self._job_alpha(job)
+        vsize = virtual_size(remaining, beta, jr.alloc_alpha)
+        priority = vsize
+        if jr.alloc_downstream > 0:
+            priority = max(vsize, virtual_size(jr.alloc_downstream, beta))
+        max_useful = max(
+            int(math.ceil(vsize)),
+            self.config.max_copies_cap * remaining,
+        )
+        self._alloc.upsert(
+            JobAllocationState(
+                job_id=job.job_id,
+                virtual_size=vsize,
+                remaining_tasks=remaining,
+                weight=job.weight,
+                priority_size=priority,
+                max_useful_slots=max_useful,
+            )
+        )
+
+    def _refresh_allocation_states(self) -> List[JobAllocationState]:
+        """Incremental equivalent of :meth:`_allocation_states`.
+
+        Recomputes only jobs dirtied since the last solve, unless the
+        beta value or the alpha history moved (an *epoch* bump) — then
+        every cached state's derived floats are suspect and the sweep
+        re-derives them lazily from the cached inputs, which is still
+        far cheaper than re-reading the job structures."""
+        beta = self._beta()
+        history = self.alpha_estimator.history_version
+        if beta != self._alloc_beta or history != self._alloc_history:
+            realpha = history != self._alloc_history
+            for jr in self._jobs.values():
+                self._refresh_job_state(jr, beta, realpha)
+            self._alloc_beta = beta
+            self._alloc_history = history
+            self._alloc_dirty_jobs.clear()
+        elif self._alloc_dirty_jobs:
+            jobs = self._jobs
+            for job_id in self._alloc_dirty_jobs:
+                jr = jobs.get(job_id)
+                if jr is not None:
+                    self._refresh_job_state(jr, beta, realpha=False)
+            self._alloc_dirty_jobs.clear()
+        return self._alloc.states()
+
     def _pick_machine(self, task: Task) -> Optional[int]:
         """Free machine for a copy: local replica holder if possible."""
         machines = self.cluster.machines
@@ -265,7 +374,12 @@ class CentralizedSimulator:
 
     # ------------------------------------------------------------- events ----
 
-    def _on_job_arrival(self, job: Job) -> None:
+    def _admit_job(self, job: Job) -> _JobRuntime:
+        """Shared arrival bookkeeping for every centralized-family plane:
+        trace span, datastore placement, runtime creation, and reserving
+        the job's slot in the incremental allocator (its position in the
+        insertion order is fixed at arrival, however many events pass
+        before the next solve)."""
         if self._tracer is not None:
             self._tracer.begin(
                 "job",
@@ -280,6 +394,12 @@ class CentralizedSimulator:
         jr = _JobRuntime(job, self.speculation_factory())
         jr.activate_runnable_phases()
         self._jobs[job.job_id] = jr
+        self._alloc.reserve(job.job_id)
+        self._alloc_dirty_jobs.add(job.job_id)
+        return jr
+
+    def _on_job_arrival(self, job: Job) -> None:
+        self._admit_job(job)
         self._reschedule()
         self._ensure_spec_check()
 
@@ -327,6 +447,7 @@ class CentralizedSimulator:
         if speculative:
             jr.running_speculative += 1
             self._running_spec_copies += 1
+            self._spec_job_ids.add(jr.job.job_id)
         else:
             self._running_original_copies += 1
         task.state = TaskState.RUNNING
@@ -341,6 +462,8 @@ class CentralizedSimulator:
         if copy.speculative:
             jr.running_speculative -= 1
             self._running_spec_copies -= 1
+            if jr.running_speculative <= 0:
+                self._spec_job_ids.discard(jr.job.job_id)
         else:
             self._running_original_copies -= 1
 
@@ -352,6 +475,8 @@ class CentralizedSimulator:
         if copy.speculative:
             jr.running_speculative -= 1
             self._running_spec_copies -= 1
+            if jr.running_speculative <= 0:
+                self._spec_job_ids.discard(jr.job.job_id)
         else:
             self._running_original_copies -= 1
 
@@ -361,8 +486,13 @@ class CentralizedSimulator:
                 self._kill_copy(other, jr)
             jr.discard_pending_id(copy.task.task_id)
             jr.activate_runnable_phases()
+            # A won race is the one event that moves this job's
+            # allocation inputs (remaining tasks, phase front, alpha).
+            jr.alloc_dirty = True
             if jr.job.is_complete:
                 self._complete_job(jr)
+            else:
+                self._alloc_dirty_jobs.add(jr.job.job_id)
         if self._blacklist_policy is not None:
             self._observe_blacklist(copy, jr)
         self._request_dispatch()
@@ -375,7 +505,11 @@ class CentralizedSimulator:
 
     def _complete_job(self, jr: _JobRuntime) -> None:
         self.ledger.record_job_completion(jr.job, self.alpha_estimator)
-        del self._jobs[jr.job.job_id]
+        job_id = jr.job.job_id
+        del self._jobs[job_id]
+        self._alloc.remove(job_id)
+        self._alloc_dirty_jobs.discard(job_id)
+        self._spec_job_ids.discard(job_id)
         self._jobs_completed += 1
 
     # ---------------------------------------------------------- blacklist ----
@@ -478,7 +612,12 @@ class CentralizedSimulator:
         """
         if not self._jobs:
             return
-        states = self._allocation_states()
+        obs = self.obs
+        if obs is None:
+            states = self._refresh_allocation_states()
+        else:
+            with obs.timers.phase("alloc.refresh"):
+                states = self._refresh_allocation_states()
         if not states:
             return
 
@@ -488,16 +627,17 @@ class CentralizedSimulator:
         else:
             original_slots = self._total_slots
 
-        obs = self.obs
         if obs is None:
-            targets = self.policy.allocate(states, original_slots)
+            targets = self._alloc.allocate(original_slots)
         else:
             with obs.timers.phase("policy.allocate"):
-                targets = self.policy.allocate(states, original_slots)
+                targets = self._alloc.allocate(original_slots)
+        # Same insertion-order float sum the solve's regime test uses,
+        # memoized per state version inside the allocator.
         self.metrics.record_guideline_decision(
-            constrained=sum(s.virtual_size for s in states) > self._total_slots
+            constrained=self._alloc.virtual_size_sum() > self._total_slots
         )
-        order = self.policy.dispatch_order(states)
+        order = self._alloc.ordered()
 
         # Coordinated mode may reclaim slots from over-target speculative
         # copies (killing a redundant copy loses no unique work) — this is
@@ -534,12 +674,25 @@ class CentralizedSimulator:
         """Kill speculative copies of jobs running above their target.
 
         Victims are the youngest speculative copies (least work lost).
-        Original copies are never preempted."""
+        Original copies are never preempted. Only jobs in the
+        incrementally tracked live-speculation set are visited — most
+        reschedules have zero live speculative copies, and the old
+        full-job sweep paid O(active jobs) to discover that. Iteration
+        is in ascending job id, which is exactly the arrival-order walk
+        ``list(self._jobs.items())`` did (job ids are assigned in
+        arrival order), so kill order — and therefore every downstream
+        RNG draw — is unchanged."""
+        spec_ids = self._spec_job_ids
+        if not spec_ids:
+            return
         now = self.sim.now
-        for job_id, jr in list(self._jobs.items()):
-            target = targets.get(job_id, 0)
-            excess = jr.running_copies - target
-            if excess <= 0 or jr.running_speculative <= 0:
+        jobs = self._jobs
+        for job_id in sorted(spec_ids):
+            jr = jobs.get(job_id)
+            if jr is None or jr.running_speculative <= 0:
+                continue
+            excess = jr.running_copies - targets.get(job_id, 0)
+            if excess <= 0:
                 continue
             victims = jr.view.live_speculative_copies()
             victims.sort(key=lambda c: c.elapsed(now))
@@ -612,15 +765,24 @@ class CentralizedSimulator:
         pool_limit: Optional[int],
     ) -> None:
         cluster = self.cluster
+        jobs = self._jobs
+        now = self.sim.now
+        min_interval = self._spec_eval_min_interval
         for state in order:
-            jr = self._jobs.get(state.job_id)
+            jr = jobs.get(state.job_id)
             if jr is None:
                 continue
             if cluster.free_slots <= 0:
                 return
             if pool_limit is not None and self._running_spec_copies >= pool_limit:
                 return
-            candidates = self._job_speculation_candidates(jr)
+            # Inlined cache fast path of JobRuntime.speculation_candidates
+            # — this sweep visits every active job per reschedule and the
+            # throttle hits far more often than it misses.
+            if jr.spec_dirty or now - jr.spec_cache_time >= min_interval:
+                candidates = jr.speculation_candidates(now, min_interval)
+            else:
+                candidates = jr.spec_candidates
             for request in candidates:
                 if cluster.free_slots <= 0:
                     return

@@ -3,7 +3,9 @@
 This package contains the paper's primary contribution as *pure
 functions* over lightweight job descriptors, so the same logic drives the
 centralized simulator, the decentralized workers, unit tests, and
-property-based tests.
+property-based tests. :mod:`repro.core.incremental` adds the stateful
+delta-maintained layer the centralized family runs those functions
+through at scale.
 """
 
 from repro.core.virtual_size import threshold_multiplier, virtual_size
@@ -11,10 +13,13 @@ from repro.core.allocation import (
     JobAllocationState,
     fair_allocation,
     hopper_allocation,
+    hopper_allocation_ordered,
     is_capacity_constrained,
     srpt_allocation,
+    srpt_allocation_ordered,
 )
 from repro.core.fairness import fairness_floors
+from repro.core.incremental import IncrementalAllocator
 from repro.core.locality import pick_job_with_locality
 
 __all__ = [
@@ -22,9 +27,12 @@ __all__ = [
     "virtual_size",
     "JobAllocationState",
     "hopper_allocation",
+    "hopper_allocation_ordered",
     "srpt_allocation",
+    "srpt_allocation_ordered",
     "fair_allocation",
     "is_capacity_constrained",
     "fairness_floors",
     "pick_job_with_locality",
+    "IncrementalAllocator",
 ]

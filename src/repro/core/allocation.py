@@ -94,19 +94,52 @@ def _distribute_remainder(
     leftover: int,
     order: Sequence[JobAllocationState],
 ) -> int:
-    """Hand out leftover slots one at a time in the given order, up to
-    each job's cap; returns slots still left."""
-    progressed = True
-    while leftover > 0 and progressed:
-        progressed = False
-        for job in order:
-            if leftover <= 0:
-                break
-            if alloc[job.job_id] < job.cap:
-                alloc[job.job_id] += 1
-                leftover -= 1
-                progressed = True
-    return leftover
+    """Hand out leftover slots round-robin in the given order, up to
+    each job's cap; returns slots still left.
+
+    Semantically this is repeated passes over ``order`` granting one
+    slot per under-cap job until slots or deficits run out. That loop is
+    O(passes x jobs) — the dominant solve cost on big capacity-rich
+    clusters, where leftover is thousands — so the final integer state
+    is computed in closed form instead: after ``r`` complete passes each
+    job has received ``min(deficit, r)``, and the remaining slots go one
+    each, in order, to the jobs whose deficit exceeds ``r``. Pure
+    integer arithmetic, bit-identical to the loop it replaces.
+    """
+    if leftover <= 0 or not order:
+        return leftover
+    deficits = []
+    total = 0
+    for job in order:
+        d = job.cap - alloc[job.job_id]
+        if d < 0:
+            d = 0
+        deficits.append(d)
+        total += d
+    if total <= leftover:
+        # Every job caps out; slots may remain.
+        for job, d in zip(order, deficits):
+            if d > 0:
+                alloc[job.job_id] += d
+        return leftover - total
+    # Largest complete-pass count r with sum(min(d, r)) <= leftover.
+    lo, hi = 0, max(deficits)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if sum(d if d < mid else mid for d in deficits) <= leftover:
+            lo = mid
+        else:
+            hi = mid - 1
+    r = lo
+    rem = leftover - sum(d if d < r else r for d in deficits)
+    for job, d in zip(order, deficits):
+        give = d if d < r else r
+        if rem > 0 and d > give:
+            give += 1
+            rem -= 1
+        if give > 0:
+            alloc[job.job_id] += give
+    return 0
 
 
 def hopper_allocation(
@@ -145,21 +178,87 @@ def hopper_allocation(
     active = [j for j in jobs if j.remaining_tasks > 0]
     if not active or total_slots == 0:
         return {j.job_id: 0 for j in active}
+    ascending = sorted(active, key=lambda j: (j.order_key, j.job_id))
+    alloc, _ = hopper_allocation_ordered(
+        active, ascending, total_slots, epsilon, force_regime
+    )
+    return alloc
 
-    floors = fairness_floors(active, total_slots, epsilon)
+
+def hopper_allocation_ordered(
+    active: Sequence[JobAllocationState],
+    ascending: Sequence[JobAllocationState],
+    total_slots: int,
+    epsilon: float = 1.0,
+    force_regime: Optional[str] = None,
+    total_virtual: Optional[float] = None,
+    floors: Optional[Dict[int, int]] = None,
+) -> tuple:
+    """:func:`hopper_allocation` with the sort hoisted out.
+
+    The incremental allocation engine maintains the ascending
+    ``(order_key, job_id)`` order between events by delta, so the solve
+    itself should not re-sort. Callers must pass ``active`` already
+    filtered to ``remaining_tasks > 0`` in the same iteration order the
+    from-scratch path would produce (insertion order of the active set
+    — every float sum below accumulates in that order, which is what
+    keeps the two paths byte-identical), and ``ascending`` sorted by
+    ``(order_key, job_id)``.
+
+    ``total_virtual`` (the insertion-order sum of active virtual sizes)
+    and ``floors`` (:func:`~repro.core.fairness.fairness_floors` for the
+    same set and slots) may be supplied precomputed — the incremental
+    engine memoizes both between events; when omitted they are computed
+    here exactly as the from-scratch path does.
+
+    Returns ``(alloc, regime)`` where ``regime`` is the Guideline that
+    applied (``"constrained"`` or ``"rich"``) so callers can detect
+    regime flips.
+    """
+    if total_slots < 0:
+        raise ValueError("total_slots must be non-negative")
+    if force_regime not in (None, "constrained", "rich"):
+        raise ValueError(f"invalid force_regime: {force_regime!r}")
+    if not active or total_slots == 0:
+        return {j.job_id: 0 for j in active}, None
+
+    # Everyone-capped shortcut. When the caps sum to no more than S the
+    # full algorithm provably ends with every job at its cap, whatever
+    # the floors, regime, or fill order: every intermediate allocation
+    # keeps alloc_i <= cap_i, so leftover = S - sum(alloc) always covers
+    # the outstanding deficits sum(cap) - sum(alloc), and the final
+    # remainder pass tops every job up. The result is pure integers, so
+    # returning it directly is bit-identical — and on big capacity-rich
+    # clusters (the 10k/100k-slot regime, where caps bind long before
+    # slots run out) it turns the per-event solve into one int sum.
+    # Regime label for flip tracking: when caps cover virtual sizes —
+    # which the simulator's max_useful = max(ceil(V), k*T) guarantees —
+    # sum(virtual) <= sum(cap) <= S, i.e. capacity-rich. (An arbitrary
+    # cap below V could make the label inexact, but the allocation is
+    # all-caps regardless, and nothing downstream consumes the label
+    # except the flip heuristic.)
+    caps = [j.cap for j in active]
+    if sum(caps) <= total_slots:
+        return (
+            {j.job_id: c for j, c in zip(active, caps)},
+            force_regime if force_regime is not None else "rich",
+        )
+
+    if floors is None:
+        floors = fairness_floors(active, total_slots, epsilon)
     alloc: Dict[int, int] = {
         j.job_id: min(floors[j.job_id], j.cap) for j in active
     }
     leftover = total_slots - sum(alloc.values())
 
-    ascending = sorted(active, key=lambda j: (j.order_key, j.job_id))
-
+    if total_virtual is None:
+        total_virtual = sum(j.virtual_size for j in active)
     if force_regime == "constrained":
         constrained = True
     elif force_regime == "rich":
         constrained = False
     else:
-        constrained = is_capacity_constrained(active, total_slots)
+        constrained = total_slots < total_virtual
 
     if constrained:
         # Guideline 2: fill jobs to their virtual size, smallest first.
@@ -175,10 +274,9 @@ def hopper_allocation(
         leftover = _distribute_remainder(alloc, active, leftover, ascending)
     else:
         # Guideline 3: proportional to virtual sizes.
-        total_virtual = sum(j.virtual_size for j in active)
         if total_virtual <= 0:
             leftover = _distribute_remainder(alloc, active, leftover, ascending)
-            return alloc
+            return alloc, "rich"
         shares = {
             j.job_id: total_slots * j.virtual_size / total_virtual
             for j in active
@@ -199,7 +297,7 @@ def hopper_allocation(
         )
         leftover = _distribute_remainder(alloc, active, leftover, frac_order)
 
-    return alloc
+    return alloc, ("constrained" if constrained else "rich")
 
 
 def srpt_allocation(
@@ -217,9 +315,28 @@ def srpt_allocation(
     if total_slots < 0:
         raise ValueError("total_slots must be non-negative")
     active = [j for j in jobs if j.remaining_tasks > 0]
+    ascending = sorted(active, key=lambda j: (j.remaining_tasks, j.job_id))
+    return srpt_allocation_ordered(
+        active, ascending, total_slots, best_effort_speculation
+    )
+
+
+def srpt_allocation_ordered(
+    active: Sequence[JobAllocationState],
+    ascending: Sequence[JobAllocationState],
+    total_slots: int,
+    best_effort_speculation: bool = True,
+) -> Dict[int, int]:
+    """:func:`srpt_allocation` with the sort hoisted out.
+
+    ``active`` must be pre-filtered to ``remaining_tasks > 0`` and
+    ``ascending`` sorted by ``(remaining_tasks, job_id)``; see
+    :func:`hopper_allocation_ordered` for why callers own the ordering.
+    """
+    if total_slots < 0:
+        raise ValueError("total_slots must be non-negative")
     alloc: Dict[int, int] = {j.job_id: 0 for j in active}
     leftover = total_slots
-    ascending = sorted(active, key=lambda j: (j.remaining_tasks, j.job_id))
     for job in ascending:
         give = min(leftover, job.remaining_tasks)
         alloc[job.job_id] = give

@@ -72,6 +72,15 @@ class AlphaEstimator:
             if phase.output_data > 0:
                 self.observe_phase_output(job.name, phase.index, phase.output_data)
 
+    @property
+    def history_version(self) -> int:
+        """Monotone counter bumped on every recorded observation.
+
+        A cached ``predict_alpha`` result is valid exactly while this and
+        the job's finished-task count are unchanged; the incremental
+        allocation engine uses it as its alpha epoch."""
+        return self._history_version
+
     # -- prediction --------------------------------------------------------
 
     def predict_phase_output(

@@ -2,7 +2,9 @@
 
 The paper's results run at a few hundred slots; the interesting regime
 for the *systems* comparison is the one where cluster size itself is the
-stressor. This study sweeps cluster size (1k -> 20k slots) on two axes:
+stressor. This study sweeps cluster size (1k -> 100k slots) on two
+axes (the 100k row is the regime the incremental allocation engine
+opened — per-event work no longer rebuilds O(active jobs) state):
 
 * **decentralized** — Hopper vs Sparrow-SRPT crossed with the probe
   ratio d, under the Spark-like Facebook workload (became tractable
@@ -34,7 +36,7 @@ from repro.sweep.study import Cell, Study, cell, register_study
 
 
 def _scale_cells(
-    cluster_sizes: Sequence[int] = (1000, 2500, 5000, 10000, 20000),
+    cluster_sizes: Sequence[int] = (1000, 2500, 5000, 10000, 20000, 100000),
     probe_ratios: Sequence[float] = (2.0, 4.0),
     systems: Sequence[str] = ("hopper", "sparrow-srpt"),
     centralized_systems: Sequence[str] = ("hopper", "srpt"),
@@ -110,7 +112,7 @@ SCALE_STUDY = register_study(
         name="scale",
         description=(
             "decentralized Hopper vs Sparrow-SRPT (and centralized "
-            "Hopper-C vs SRPT) on 1k-20k-slot clusters"
+            "Hopper-C vs SRPT) on 1k-100k-slot clusters"
         ),
         build_cells=_scale_cells,
         # --quick still covers the >=10k-slot regime (that is the point

@@ -46,6 +46,10 @@ class JobRuntime:
         "spec_dirty",
         "spec_cache_time",
         "spec_candidates",
+        "alloc_dirty",
+        "alloc_remaining",
+        "alloc_alpha",
+        "alloc_downstream",
     )
 
     def __init__(
@@ -61,6 +65,19 @@ class JobRuntime:
         self.spec_dirty = True
         self.spec_cache_time = -float("inf")
         self.spec_candidates: list = []
+        # Allocation-state input cache for the centralized family's
+        # incremental allocator (repro.core.incremental): remaining task
+        # count, predicted alpha, and downstream virtual tasks change
+        # only when a task of this job finishes (or, for alpha, when the
+        # estimator's history moves), so between those events virtual
+        # sizes can be recomputed from these floats without touching the
+        # job's phase structures. alloc_dirty marks a pending full
+        # recompute. Inert (four slots) on planes that don't allocate
+        # centrally.
+        self.alloc_dirty = True
+        self.alloc_remaining = 0
+        self.alloc_alpha = 1.0
+        self.alloc_downstream = 0.0
 
     # -- pending queue ------------------------------------------------------
 

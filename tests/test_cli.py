@@ -216,6 +216,19 @@ def test_study_profile_prints_phase_table(capsys, monkeypatch):
     assert "REPRO_OBS" not in os.environ
 
 
+def test_batch_study_profile_reports_allocation_phases(capsys, monkeypatch):
+    # The batch plane rides the incremental allocation engine; its
+    # profile must break out the per-round allocation cost (state
+    # refresh + policy solve) so regressions there are visible.
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert main(
+        ["study", "batch_rounds", "--quick", "--serial", "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "policy.allocate" in out
+    assert "alloc.refresh" in out
+
+
 def test_bench_trajectory_reports_committed_history(tmp_path, capsys):
     # The repo's own history carries BENCH_scale.json points.
     report_path = str(tmp_path / "trajectory.md")
