@@ -49,13 +49,22 @@ QUICK_GRID: Sequence[Tuple[int, int]] = (
     (100000, 100),
 )
 
-SYSTEMS = ("decentralized", "centralized", "batch")
+SYSTEMS = ("decentralized", "centralized", "batch", "elastic")
 
 PROBE_RATIO = 4.0
 ROUND_INTERVAL = 0.5
 UTILIZATION = 0.6
 TRACE_SEED = 42
 RUN_SEED = 7
+
+#: The elastic axis only runs at this cluster size: it measures resize
+#: *churn* cost (membership deltas + kill/requeue) at the 10k-slot
+#: regime, not another full scale sweep. Both grids carry a 10k point.
+ELASTIC_SLOTS = 10000
+#: Fraction of the machine fleet each churn event removes or re-adds.
+ELASTIC_CHURN = 0.1
+#: Alternating shrink/grow events, every 2 virtual seconds from t=2.
+ELASTIC_CHURN_EVENTS = 8
 
 
 def _build_trace(total_slots: int, num_jobs: int):
@@ -232,10 +241,76 @@ def run_once_batch(
     }
 
 
+def run_once_elastic(
+    total_slots: int, num_jobs: int, obs: Any = None
+) -> Dict[str, Any]:
+    """One timed centralized-Hopper replay under scheduled resize churn:
+    ``ELASTIC_CHURN_EVENTS`` alternating shrink/grow events, each moving
+    ``ELASTIC_CHURN`` of the machine fleet. The delta over
+    :func:`run_once_centralized` prices the membership-update and
+    kill→requeue paths (Cluster.add_machine/remove_machine must stay
+    O(log machines) for this row to hold its rate). ``obs`` as in
+    :func:`run_once_decentralized`."""
+    from repro.centralized.config import CentralizedConfig, SpeculationMode
+    from repro.centralized.simulator import CentralizedSimulator
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.elastic import ScheduleAutoscaler
+    from repro.simulation.rng import RandomSource
+    from repro.speculation import make_speculation_policy
+    from repro.stragglers.model import ParetoRedrawStragglerModel
+
+    from repro import registry
+
+    profile, _, trace = _build_trace(total_slots, num_jobs)
+    policy = registry.CENTRALIZED_SYSTEMS.get("hopper").factory(epsilon=0.1)
+    slots_per_machine = 4
+    num_machines = max(1, total_slots // slots_per_machine)
+    delta = max(1, int(num_machines * ELASTIC_CHURN))
+    schedule = [
+        (2.0 * (i + 1), -delta if i % 2 == 0 else delta)
+        for i in range(ELASTIC_CHURN_EVENTS)
+    ]
+    simulator = CentralizedSimulator(
+        cluster=Cluster(
+            num_machines=num_machines, slots_per_machine=slots_per_machine
+        ),
+        policy=policy,
+        speculation=lambda: make_speculation_policy("late"),
+        trace=trace.fresh_copy(),
+        straggler_model=ParetoRedrawStragglerModel(
+            beta=profile.beta, scale=profile.task_scale
+        ),
+        config=CentralizedConfig(
+            epsilon=0.1,
+            speculation_mode=SpeculationMode.INTEGRATED,
+            default_beta=profile.beta,
+        ),
+        random_source=RandomSource(seed=RUN_SEED),
+        autoscaler=ScheduleAutoscaler(schedule),
+        obs=obs,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    wall = time.perf_counter() - start
+    events = simulator.sim.events_processed
+    return {
+        "system": "elastic",
+        "total_slots": total_slots,
+        "num_jobs": num_jobs,
+        "probe_ratio": None,
+        "events": events,
+        "wall_seconds": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "mean_job_duration": result.mean_job_duration,
+        "messages_sent": result.messages_sent,
+    }
+
+
 _RUNNERS = {
     "decentralized": run_once_decentralized,
     "centralized": run_once_centralized,
     "batch": run_once_batch,
+    "elastic": run_once_elastic,
 }
 
 
@@ -246,12 +321,19 @@ def run_benchmark(
     shielding).
 
     The simulation itself is deterministic, so repeated runs return
-    identical events/results; only the timing varies.
+    identical events/results; only the timing varies. The elastic axis
+    runs only its ``ELASTIC_SLOTS`` grid point (churn cost at 10k
+    slots, not a second full sweep).
     """
     rows: List[Dict[str, Any]] = []
     for system in systems:
         run_once = _RUNNERS[system]
-        for total_slots, num_jobs in grid:
+        points = (
+            [p for p in grid if p[0] == ELASTIC_SLOTS]
+            if system == "elastic"
+            else grid
+        )
+        for total_slots, num_jobs in points:
             best: Optional[Dict[str, Any]] = None
             for _ in range(repeats):
                 row = run_once(total_slots, num_jobs)

@@ -9,6 +9,8 @@ runner, tight enough to catch an accidentally quadratic event loop.
 A baseline grid point (or per-system aggregate) missing from the fresh
 run is also a violation: the gate must not silently lose coverage when
 the benchmark grid or system axes change without a baseline refresh.
+So is a baseline rate of zero or below — a corrupt baseline must fail
+the gate, not neuter it.
 
 Usage::
 
@@ -60,7 +62,14 @@ def check(
     def compare(label: str, base_rate: float, cur_rate: float) -> None:
         nonlocal violations
         if base_rate <= 0:
-            print(f"  {label}: baseline rate {base_rate:g} — skipped")
+            # A zero/negative baseline is a corrupt or hand-edited
+            # document; silently skipping it would let any regression
+            # through. Fail the gate and demand a baseline refresh.
+            print(
+                f"  {label}: INVALID BASELINE rate {base_rate:g} "
+                f"(must be > 0 — regenerate the baseline)"
+            )
+            violations += 1
             return
         ratio = cur_rate / base_rate
         verdict = "ok"

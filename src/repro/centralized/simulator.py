@@ -56,6 +56,7 @@ from repro.centralized.config import CentralizedConfig, SpeculationMode
 from repro.centralized.policies import CentralizedPolicy
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
+from repro.cluster.elastic import AutoscalerPolicy, ElasticController
 from repro.cluster.policy import BlacklistPolicy, evaluate_completion
 from repro.core.allocation import JobAllocationState
 from repro.core.incremental import IncrementalAllocator
@@ -142,6 +143,8 @@ class CentralizedSimulator:
         "_running_original_copies",
         "_spec_eval_min_interval",
         "_blacklist_policy",
+        "_autoscaler",
+        "_elastic",
         "obs",
         "_tracer",
     )
@@ -157,6 +160,7 @@ class CentralizedSimulator:
         datastore: Optional[DataStore] = None,
         random_source: Optional[RandomSource] = None,
         blacklist_policy: Optional[BlacklistPolicy] = None,
+        autoscaler: Optional[AutoscalerPolicy] = None,
         obs: Optional[Obs] = None,
     ) -> None:
         self.cluster = cluster
@@ -204,6 +208,19 @@ class CentralizedSimulator:
         self._running_original_copies = 0
         self._spec_eval_min_interval = self.config.spec_eval_min_interval
         self._blacklist_policy = blacklist_policy
+        self._autoscaler = autoscaler
+        self._elastic: Optional[ElasticController] = None
+        if autoscaler is not None:
+            self._elastic = ElasticController(
+                engine=self.sim,
+                policy=autoscaler,
+                add_machines=self._autoscale_add,
+                remove_machines=self._autoscale_remove,
+                busy_slots=lambda: self.cluster.busy_slots,
+                total_slots=lambda: self.cluster.total_slots,
+                keep_sampling=lambda: bool(self._jobs),
+                obs=obs,
+            )
 
     # ------------------------------------------------------------------ run --
 
@@ -217,6 +234,8 @@ class CentralizedSimulator:
             ),
             absolute=True,
         )
+        if self._elastic is not None:
+            self._elastic.prime()
         self.sim.run(until=until)
         self._finalize_diagnostics()
         return self.metrics.result
@@ -396,6 +415,10 @@ class CentralizedSimulator:
         self._jobs[job.job_id] = jr
         self._alloc.reserve(job.job_id)
         self._alloc_dirty_jobs.add(job.job_id)
+        if self._elastic is not None:
+            # Demand-armed like the speculation check: the utilization
+            # sampler re-arms only while jobs are active.
+            self._elastic.ensure_sampling()
         return jr
 
     def _on_job_arrival(self, job: Job) -> None:
@@ -531,11 +554,10 @@ class CentralizedSimulator:
         if evict is not None:
             self._evict_machine(evict)
 
-    def _evict_machine(self, machine_id: int) -> None:
-        """Blacklist ``machine_id`` mid-run: kill its running copies,
-        requeue originals whose last copy died, and rebuild the index."""
-        cluster = self.cluster
-        cluster.blacklist.add(machine_id)
+    def _kill_machine_copies(self, machine_id: int) -> int:
+        """Kill every copy running on ``machine_id`` and requeue
+        originals whose last copy died. Shared by blacklist eviction and
+        autoscaler removal; returns the victim count."""
         victims: List[tuple] = []
         for jr in self._jobs.values():
             for copies in jr.view.copies_by_task.values():
@@ -548,10 +570,18 @@ class CentralizedSimulator:
             if not c.task.is_finished:
                 orphaned.append((c.task, jr))
         for task, jr in orphaned:
-            # Only requeue when no sibling copy survived the eviction —
+            # Only requeue when no sibling copy survived the kill —
             # a live copy elsewhere still carries the task.
             if jr.view.num_live_copies(task) == 0 and jr.requeue(task):
                 task.state = TaskState.PENDING
+        return len(victims)
+
+    def _evict_machine(self, machine_id: int) -> None:
+        """Blacklist ``machine_id`` mid-run: kill its running copies,
+        requeue originals whose last copy died, and rebuild the index."""
+        cluster = self.cluster
+        cluster.blacklist.add(machine_id)
+        num_victims = self._kill_machine_copies(machine_id)
         self._apply_blacklist()  # machine flags + totals + index rebuild
         self._resize_slot_pool()
         self.metrics.record_eviction()
@@ -561,7 +591,7 @@ class CentralizedSimulator:
             if obs.tracer is not None:
                 obs.tracer.instant(
                     "blacklist", "evict", self.sim.now, machine=machine_id,
-                    victims=len(victims),
+                    victims=num_victims,
                 )
 
     def _reinstate_machine(self, machine_id: int) -> None:
@@ -588,6 +618,46 @@ class CentralizedSimulator:
         else:
             with obs.timers.phase("index.rebuild"):
                 self.cluster.apply_blacklist()
+
+    # ------------------------------------------------------------- elastic ----
+
+    def _autoscale_add(self, count: int) -> int:
+        """ADD_MACHINE: append ``count`` machines (O(log machines) each
+        via the Fenwick append — no index rebuild) and dispatch onto the
+        new capacity at this plane's dispatch point."""
+        cluster = self.cluster
+        num_slots = cluster.machines[0].num_slots
+        for _ in range(count):
+            cluster.add_machine(num_slots=num_slots)
+        self._resize_slot_pool()
+        self._request_dispatch()
+        return count
+
+    def _autoscale_remove(self, count: int) -> int:
+        """REMOVE_MACHINE: retire up to ``count`` machines (highest live
+        ids first), reusing the eviction kill→requeue path for their
+        running copies. Clamped so at least ``min_machines`` stay live."""
+        cluster = self.cluster
+        floor = max(1, self._autoscaler.min_machines)
+        count = min(count, cluster.live_machine_count() - floor)
+        if count <= 0:
+            return 0
+        removed = 0
+        for machine in reversed(cluster.machines):
+            if removed >= count:
+                break
+            if machine.retired or machine.blacklisted:
+                continue
+            # Retire first (the machine leaves the index and the totals
+            # in O(log machines)), then kill its copies: each kill's
+            # release_slot refreshes a bit that stays 0 for a retired
+            # machine, so no new work lands on it mid-teardown.
+            cluster.remove_machine(machine.machine_id)
+            self._kill_machine_copies(machine.machine_id)
+            removed += 1
+        self._resize_slot_pool()
+        self._request_dispatch()
+        return removed
 
     def _resize_slot_pool(self) -> None:
         """Eviction/reinstatement changed the usable slot count; refresh

@@ -6,6 +6,12 @@ from repro.cluster.datastore import DataStore
 from repro.cluster.blacklist import Blacklist
 from repro.cluster.index import ClusterIndex
 from repro.cluster.policy import BlacklistPolicy, StrikeBlacklistPolicy
+from repro.cluster.elastic import (
+    AutoscalerPolicy,
+    ElasticController,
+    ReactiveAutoscaler,
+    ScheduleAutoscaler,
+)
 
 __all__ = [
     "Machine",
@@ -15,4 +21,8 @@ __all__ = [
     "ClusterIndex",
     "BlacklistPolicy",
     "StrikeBlacklistPolicy",
+    "AutoscalerPolicy",
+    "ElasticController",
+    "ReactiveAutoscaler",
+    "ScheduleAutoscaler",
 ]

@@ -53,6 +53,7 @@ class Cluster:
             ]
         if not self.machines:
             raise ValueError("cluster must contain at least one machine")
+        self._machines_per_rack = machines_per_rack
         self.blacklist = Blacklist()
         self._busy_count = 0
         self._total_slots = self._scan_total_slots()
@@ -60,7 +61,11 @@ class Cluster:
         self.index = ClusterIndex(self.machines)
 
     def _scan_total_slots(self) -> int:
-        return sum(m.num_slots for m in self.machines if not m.blacklisted)
+        return sum(
+            m.num_slots
+            for m in self.machines
+            if not m.blacklisted and not m.retired
+        )
 
     @property
     def num_machines(self) -> int:
@@ -95,6 +100,54 @@ class Cluster:
 
     def machine(self, machine_id: int) -> Machine:
         return self.machines[machine_id]
+
+    # -- elastic membership (O(log machines), see repro.cluster.elastic) ----
+
+    def add_machine(
+        self,
+        num_slots: Optional[int] = None,
+        rack: Optional[int] = None,
+    ) -> Machine:
+        """Append one machine and delta-update the aggregates.
+
+        Machine ids are append-only: a new machine always gets the next
+        id, so per-id state elsewhere (straggler flaky sets, worker
+        lists) stays valid. Unlike ``apply_blacklist`` this never
+        rescans or rebuilds — totals and the Fenwick index update in
+        O(log machines).
+        """
+        machine_id = len(self.machines)
+        if num_slots is None:
+            num_slots = self.machines[0].num_slots
+        if rack is None:
+            rack = machine_id // self._machines_per_rack
+        machine = Machine(machine_id=machine_id, num_slots=num_slots, rack=rack)
+        self.machines.append(machine)
+        self._total_slots += num_slots
+        self.index.append_machine(machine)
+        return machine
+
+    def remove_machine(self, machine_id: int) -> None:
+        """Retire one machine and delta-update the aggregates.
+
+        The machine object stays in place (ids are stable) but stops
+        counting toward capacity and drops out of the free-slot index.
+        Copies still running on it are the caller's problem — the plane
+        simulators reuse their eviction kill→requeue paths.
+        """
+        machine = self.machines[machine_id]
+        if machine.retired:
+            raise ValueError(f"machine {machine_id} already retired")
+        machine.retired = True
+        if not machine.blacklisted:
+            self._total_slots -= machine.num_slots
+        self.index.set_machine(machine_id, False)
+
+    def live_machine_count(self) -> int:
+        """Machines contributing capacity (not retired, not blacklisted)."""
+        return sum(
+            1 for m in self.machines if not m.retired and not m.blacklisted
+        )
 
     def machines_with_free_slots(self) -> List[Machine]:
         return [m for m in self.machines if m.has_free_slot]

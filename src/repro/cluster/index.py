@@ -65,6 +65,32 @@ class ClusterIndex:
 
     # -- updates ------------------------------------------------------------
 
+    def _prefix(self, count: int) -> int:
+        """Sum of the first ``count`` bits (O(log machines))."""
+        tree = self._tree
+        total = 0
+        while count:
+            total += tree[count]
+            count -= count & -count
+        return total
+
+    def append_machine(self, machine) -> None:
+        """Extend the index by one machine id (O(log machines)).
+
+        Elastic growth appends machines instead of rebuilding: the new
+        Fenwick node's value is the bit-sum of the id range it covers,
+        recoverable from prefix sums over the existing tree — no O(n)
+        rebuild on the resize path.
+        """
+        bit = 1 if machine.has_free_slot else 0
+        j = self._size + 1
+        span_start = j - (j & -j)
+        self._tree.append(self._prefix(j - 1) - self._prefix(span_start) + bit)
+        self._bits.append(bit)
+        self._size = j
+        self._top_bit = 1 << (j.bit_length() - 1)
+        self.free_machine_count += bit
+
     def set_machine(self, machine_id: int, is_free: bool) -> None:
         """Record that ``machine_id`` gained/lost its last free slot."""
         bit = 1 if is_free else 0

@@ -20,6 +20,11 @@ class Machine:
 
     busy_slots: int = field(default=0, compare=False)
     blacklisted: bool = field(default=False, compare=False)
+    #: Removed by an autoscaler. Unlike ``blacklisted`` (owned by the
+    #: Blacklist and recomputed on every apply_blacklist pass), retirement
+    #: is permanent: elastic shrink never resurrects a machine id — growth
+    #: appends fresh ids instead — so reinstatement passes can't revive it.
+    retired: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_slots <= 0:
@@ -31,7 +36,11 @@ class Machine:
 
     @property
     def has_free_slot(self) -> bool:
-        return self.busy_slots < self.num_slots and not self.blacklisted
+        return (
+            self.busy_slots < self.num_slots
+            and not self.blacklisted
+            and not self.retired
+        )
 
     def acquire_slot(self) -> None:
         """Mark one slot busy."""

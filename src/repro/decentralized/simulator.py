@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.elastic import AutoscalerPolicy, ElasticController
 from repro.cluster.policy import BlacklistPolicy, evaluate_completion
 from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.scheduler import SchedulerAgent, SchedulerJob
@@ -85,6 +86,7 @@ class DecentralizedSimulator:
         random_source: Optional[RandomSource] = None,
         name: Optional[str] = None,
         blacklist_policy: Optional[BlacklistPolicy] = None,
+        autoscaler: Optional[AutoscalerPolicy] = None,
         obs: Optional[Obs] = None,
     ) -> None:
         if num_workers <= 0:
@@ -146,10 +148,30 @@ class DecentralizedSimulator:
         self._sample_pool: List[Worker] = self.workers
         self._power_of_d = self.config.power_of_d
         self.cluster: Optional[Cluster] = None
-        if blacklist_policy is not None:
+        if blacklist_policy is not None or autoscaler is not None:
+            # Mirror cluster: membership bookkeeping on the shared
+            # substrate (blacklist flags, retirement, free-machine
+            # index); its slots are never acquired.
             self.cluster = Cluster(
                 num_machines=num_workers,
                 slots_per_machine=slots_per_worker,
+            )
+        self._autoscaler = autoscaler
+        self._elastic: Optional[ElasticController] = None
+        if autoscaler is not None:
+            self._elastic = ElasticController(
+                engine=self.sim,
+                policy=autoscaler,
+                add_machines=self._autoscale_add,
+                remove_machines=self._autoscale_remove,
+                # O(live workers) per reactive sample — paid only on the
+                # sampling cadence, never on the message hot path.
+                busy_slots=lambda: sum(
+                    w.busy_slots for w in self._sample_pool
+                ),
+                total_slots=lambda: self.total_slots,
+                keep_sampling=lambda: self._active_jobs > 0,
+                obs=obs,
             )
 
     # -- plumbing ----------------------------------------------------------
@@ -288,6 +310,8 @@ class DecentralizedSimulator:
             ),
             absolute=True,
         )
+        if self._elastic is not None:
+            self._elastic.prime()
         self.sim.run(until=until)
         self._finalize_diagnostics()
         return self.metrics.result
@@ -315,6 +339,8 @@ class DecentralizedSimulator:
         self._active_jobs += 1
         scheduler.submit_job(job)
         self._ensure_spec_check()
+        if self._elastic is not None:
+            self._elastic.ensure_sampling()
 
     def _ensure_spec_check(self) -> None:
         if self._spec_check_scheduled or self._active_jobs == 0:
@@ -506,5 +532,81 @@ class DecentralizedSimulator:
             for machine_id in cluster.index.free_machine_ids()
         ]
         total = len(self._sample_pool) * self._slots_per_worker
+        # Live capacity, kept current so external probes (the serving
+        # driver's utilization sampler) never count evicted workers.
+        self.total_slots = total
         for scheduler in self.schedulers:
             scheduler.on_cluster_resize(total)
+
+    # -- elastic membership (autoscaler resizes) ------------------------------
+
+    def _refresh_membership(self) -> None:
+        """Incremental counterpart of :meth:`_rebuild_cluster_state` for
+        autoscaler resizes: the mirror cluster's index is already
+        delta-updated, so only the derived state (probe sample pool,
+        live capacity, ε-fair floors) is rebuilt — no ``apply_blacklist``
+        rescan, no Fenwick rebuild."""
+        workers = self.workers
+        self._sample_pool = [
+            workers[machine_id]
+            for machine_id in self.cluster.index.free_machine_ids()
+        ]
+        total = len(self._sample_pool) * self._slots_per_worker
+        self.total_slots = total
+        for scheduler in self.schedulers:
+            scheduler.on_cluster_resize(total)
+
+    def _autoscale_add(self, count: int) -> int:
+        """ADD_MACHINE: grow the worker set. New workers take fresh ids
+        (append-only, so per-id state everywhere stays valid) and join
+        the probe sample pool immediately."""
+        for _ in range(count):
+            worker_id = len(self.workers)
+            self.workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    num_slots=self._slots_per_worker,
+                    sim=self,
+                )
+            )
+            self.cluster.add_machine(num_slots=self._slots_per_worker)
+        self._refresh_membership()
+        return count
+
+    def _autoscale_remove(self, count: int) -> int:
+        """REMOVE_MACHINE: retire up to ``count`` workers (highest live
+        ids first) through the eviction teardown — kill running copies,
+        requeue originals whose last copy died with a fresh probe each —
+        but via machine *retirement*, which no later blacklist pass can
+        undo. Clamped so at least ``min_machines`` workers stay live."""
+        cluster = self.cluster
+        floor = max(1, self._autoscaler.min_machines)
+        count = min(count, cluster.live_machine_count() - floor)
+        if count <= 0:
+            return 0
+        removed = 0
+        orphaned: List[Tuple[SchedulerAgent, SchedulerJob, Task]] = []
+        for machine in reversed(cluster.machines):
+            if removed >= count:
+                break
+            if machine.retired or machine.blacklisted:
+                continue
+            worker = self.workers[machine.machine_id]
+            victims = worker.evict()
+            cluster.remove_machine(machine.machine_id)
+            for copy in victims:
+                scheduler = self._owner.get(copy.task.job_id)
+                sj = scheduler.jobs.get(copy.task.job_id) if scheduler else None
+                if sj is None:
+                    continue
+                self._kill_copy(copy, scheduler, sj)
+                if not copy.task.is_finished:
+                    orphaned.append((scheduler, sj, copy.task))
+            removed += 1
+        # Pool refresh BEFORE requeueing (same ordering as eviction), so
+        # the replacement probes can never target a retired worker.
+        self._refresh_membership()
+        for scheduler, sj, task in orphaned:
+            if sj.view.num_live_copies(task) == 0:
+                scheduler.requeue_task(sj, task)
+        return removed

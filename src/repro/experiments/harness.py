@@ -18,6 +18,7 @@ from repro.centralized.policies import CentralizedPolicy
 from repro.centralized.simulator import CentralizedSimulator
 from repro.cluster.cluster import Cluster
 from repro.cluster.datastore import DataStore
+from repro.cluster.elastic import AutoscalerPolicy
 from repro.cluster.policy import BlacklistPolicy
 from repro.decentralized.config import DecentralizedConfig
 from repro.decentralized.simulator import DecentralizedSimulator
@@ -150,6 +151,42 @@ def _resolve_blacklist_policy(
     return blacklist_policy
 
 
+def _resolve_autoscaler(
+    autoscaler: Union[AutoscalerPolicy, str, None],
+    resize_schedule: Optional[str] = None,
+    scale_interval: Optional[float] = None,
+    scale_up_threshold: Optional[float] = None,
+    scale_down_threshold: Optional[float] = None,
+    scale_step: Optional[int] = None,
+    min_machines: Optional[int] = None,
+) -> Optional[AutoscalerPolicy]:
+    """Accept a policy instance, a registry name, or None/"none" (off).
+
+    The scale knobs only apply when the policy is built by name here;
+    omitted knobs keep the policy's own defaults. ``"none"`` resolves
+    through the registry to None, so a run that spells the default
+    explicitly builds the exact same simulator.
+    """
+    if autoscaler is None:
+        return None
+    if isinstance(autoscaler, str):
+        kwargs = {}
+        if resize_schedule is not None:
+            kwargs["resize_schedule"] = resize_schedule
+        if scale_interval is not None:
+            kwargs["scale_interval"] = scale_interval
+        if scale_up_threshold is not None:
+            kwargs["scale_up_threshold"] = scale_up_threshold
+        if scale_down_threshold is not None:
+            kwargs["scale_down_threshold"] = scale_down_threshold
+        if scale_step is not None:
+            kwargs["scale_step"] = scale_step
+        if min_machines is not None:
+            kwargs["min_machines"] = min_machines
+        return registry.make_autoscaler(autoscaler, **kwargs)
+    return autoscaler
+
+
 #: Sentinel: "the caller did not choose" — consult ``REPRO_OBS``. An
 #: explicit ``obs=None`` forces observability off regardless of env.
 _OBS_FROM_ENV = object()
@@ -178,19 +215,28 @@ def build_centralized_simulator(
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
+    autoscaler: Union[AutoscalerPolicy, str, None] = None,
+    resize_schedule: Optional[str] = None,
+    scale_interval: Optional[float] = None,
+    scale_up_threshold: Optional[float] = None,
+    scale_down_threshold: Optional[float] = None,
+    scale_step: Optional[int] = None,
+    min_machines: Optional[int] = None,
     obs=_OBS_FROM_ENV,
 ) -> CentralizedSimulator:
     """Construct (without running) a centralized simulator for ``trace``.
 
     The trace is deep-copied first, so the same object can be replayed
     under several systems. ``policy`` and (string-valued)
-    ``straggler_model`` / ``blacklist_policy`` resolve through
-    :mod:`repro.registry`; each centralized system's registry entry
-    carries its default speculation mode (BEST_EFFORT for the
+    ``straggler_model`` / ``blacklist_policy`` / ``autoscaler`` resolve
+    through :mod:`repro.registry`; each centralized system's registry
+    entry carries its default speculation mode (BEST_EFFORT for the
     baselines, INTEGRATED for Hopper). With a blacklist policy the
     simulator evicts struck machines mid-run (see
-    :mod:`repro.cluster.policy`). The serving driver builds through
-    here too, then primes the engine before calling ``run()``.
+    :mod:`repro.cluster.policy`); with an autoscaler it resizes the
+    cluster mid-run (see :mod:`repro.cluster.elastic`). The serving
+    driver builds through here too, then primes the engine before
+    calling ``run()``.
     """
     return CentralizedSimulator(
         **_centralized_family_kwargs(
@@ -211,6 +257,13 @@ def build_centralized_simulator(
             strike_threshold=strike_threshold,
             strike_window=strike_window,
             eviction_cap=eviction_cap,
+            autoscaler=autoscaler,
+            resize_schedule=resize_schedule,
+            scale_interval=scale_interval,
+            scale_up_threshold=scale_up_threshold,
+            scale_down_threshold=scale_down_threshold,
+            scale_step=scale_step,
+            min_machines=min_machines,
             obs=obs,
         )
     )
@@ -234,6 +287,13 @@ def _centralized_family_kwargs(
     strike_threshold: Optional[int],
     strike_window: Optional[float],
     eviction_cap: Optional[float],
+    autoscaler: Union[AutoscalerPolicy, str, None],
+    resize_schedule: Optional[str],
+    scale_interval: Optional[float],
+    scale_up_threshold: Optional[float],
+    scale_down_threshold: Optional[float],
+    scale_step: Optional[int],
+    min_machines: Optional[int],
     obs,
 ) -> dict:
     """Constructor kwargs shared by the centralized and batch planes.
@@ -281,6 +341,15 @@ def _centralized_family_kwargs(
             strike_window=strike_window,
             eviction_cap=eviction_cap,
         ),
+        autoscaler=_resolve_autoscaler(
+            autoscaler,
+            resize_schedule=resize_schedule,
+            scale_interval=scale_interval,
+            scale_up_threshold=scale_up_threshold,
+            scale_down_threshold=scale_down_threshold,
+            scale_step=scale_step,
+            min_machines=min_machines,
+        ),
         obs=_resolve_obs(obs),
     )
 
@@ -318,6 +387,13 @@ def build_batch_simulator(
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
+    autoscaler: Union[AutoscalerPolicy, str, None] = None,
+    resize_schedule: Optional[str] = None,
+    scale_interval: Optional[float] = None,
+    scale_up_threshold: Optional[float] = None,
+    scale_down_threshold: Optional[float] = None,
+    scale_step: Optional[int] = None,
+    min_machines: Optional[int] = None,
     obs=_OBS_FROM_ENV,
 ) -> BatchSimulator:
     """Construct (without running) a batch-plane simulator for ``trace``.
@@ -325,6 +401,8 @@ def build_batch_simulator(
     Same surface as :func:`build_centralized_simulator` plus
     ``round_interval``, the period of the recurring scheduling round.
     ``policy`` names an entry of :data:`repro.registry.BATCH_SYSTEMS`.
+    Autoscaler resizes land between rounds: the controller requests a
+    dispatch, and the batch plane coalesces that into its next round.
     """
     return BatchSimulator(
         round_interval=round_interval,
@@ -346,6 +424,13 @@ def build_batch_simulator(
             strike_threshold=strike_threshold,
             strike_window=strike_window,
             eviction_cap=eviction_cap,
+            autoscaler=autoscaler,
+            resize_schedule=resize_schedule,
+            scale_interval=scale_interval,
+            scale_up_threshold=scale_up_threshold,
+            scale_down_threshold=scale_down_threshold,
+            scale_step=scale_step,
+            min_machines=min_machines,
             obs=obs,
         ),
     )
@@ -383,6 +468,13 @@ def build_decentralized_simulator(
     strike_threshold: Optional[int] = None,
     strike_window: Optional[float] = None,
     eviction_cap: Optional[float] = None,
+    autoscaler: Union[AutoscalerPolicy, str, None] = None,
+    resize_schedule: Optional[str] = None,
+    scale_interval: Optional[float] = None,
+    scale_up_threshold: Optional[float] = None,
+    scale_down_threshold: Optional[float] = None,
+    scale_step: Optional[int] = None,
+    min_machines: Optional[int] = None,
     obs=_OBS_FROM_ENV,
 ) -> DecentralizedSimulator:
     """Construct (without running) a decentralized simulator for ``trace``.
@@ -392,8 +484,10 @@ def build_decentralized_simulator(
     paper's default probe ratio (2 for the baselines, 4 for Hopper) and
     fairness setting, overridable per experiment. With a blacklist
     policy the simulator evicts struck workers from the probe pool
-    mid-run (see :mod:`repro.cluster.policy`). The serving driver
-    builds through here too, then primes the engine before ``run()``.
+    mid-run (see :mod:`repro.cluster.policy`); with an autoscaler it
+    grows/shrinks the worker set mid-run (see
+    :mod:`repro.cluster.elastic`). The serving driver builds through
+    here too, then primes the engine before ``run()``.
     """
     defaults = registry.DECENTRALIZED_SYSTEMS.get(system).factory()
     if config is None:
@@ -431,6 +525,15 @@ def build_decentralized_simulator(
             strike_threshold=strike_threshold,
             strike_window=strike_window,
             eviction_cap=eviction_cap,
+        ),
+        autoscaler=_resolve_autoscaler(
+            autoscaler,
+            resize_schedule=resize_schedule,
+            scale_interval=scale_interval,
+            scale_up_threshold=scale_up_threshold,
+            scale_down_threshold=scale_down_threshold,
+            scale_step=scale_step,
+            min_machines=min_machines,
         ),
         obs=_resolve_obs(obs),
     )

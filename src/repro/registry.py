@@ -49,6 +49,10 @@ Registries
 ``BLACKLIST_POLICIES``
     Mid-run machine-eviction policies (see :mod:`repro.cluster.policy`),
     resolvable by name from the ``blacklist_policy`` spec knob.
+``AUTOSCALER_POLICIES``
+    Elastic-cluster autoscalers (see :mod:`repro.cluster.elastic`),
+    resolvable by name from the ``autoscaler`` spec knob; they emit
+    mid-run ADD_MACHINE/REMOVE_MACHINE events on every plane.
 ``WORKLOAD_PROFILES``
     Synthetic trace profiles (Facebook / Bing and their Spark variants).
 ``STUDIES``
@@ -289,6 +293,7 @@ SERVING_SYSTEMS = Registry("serving system")
 SPECULATION_POLICIES = Registry("speculation policy")
 STRAGGLER_MODELS = Registry("straggler model")
 BLACKLIST_POLICIES = Registry("blacklist policy")
+AUTOSCALER_POLICIES = Registry("autoscaler policy")
 WORKLOAD_PROFILES = Registry("workload profile")
 STUDIES = Registry("study")
 
@@ -439,6 +444,7 @@ def studies() -> Registry:
     import repro.experiments.batch  # noqa: F401  (batch_rounds study)
     import repro.experiments.blacklist  # noqa: F401  (registers blacklist)
     import repro.experiments.blacklist_policy  # noqa: F401  (eviction study)
+    import repro.experiments.elastic  # noqa: F401  (elastic study)
     import repro.experiments.figures  # noqa: F401  (registers studies)
     import repro.experiments.scale  # noqa: F401  (registers the scale study)
     import repro.experiments.serving  # noqa: F401  (steady_state study)
@@ -477,6 +483,16 @@ def make_blacklist_policy(
     return BLACKLIST_POLICIES.get(name).factory(
         num_machines=num_machines, **kwargs
     )
+
+
+def make_autoscaler(name: str, **kwargs: Any):
+    """Build a registered autoscaler policy (or None for ``"none"``).
+
+    Keyword knobs are the ``_autoscaler_knobs()`` family; each factory
+    consumes the ones it understands and ignores the rest, so callers
+    may pass the whole knob group through unconditionally.
+    """
+    return AUTOSCALER_POLICIES.get(name).factory(**kwargs)
 
 
 # --------------------------------------------------------------------------
@@ -843,6 +859,70 @@ def _probation_blacklist_policy(num_machines=None, **kwargs):
     )
 
 
+def _no_autoscaler(**kwargs):
+    return None
+
+
+def _schedule_autoscaler(
+    resize_schedule: str = "",
+    min_machines: int = 1,
+    **kwargs,
+):
+    from repro.cluster.elastic import ScheduleAutoscaler, parse_resize_schedule
+
+    if not resize_schedule:
+        raise KnobError(
+            "autoscaler 'schedule' needs a non-empty resize_schedule knob "
+            '("time:delta,..." — e.g. "30:+8,90:-8")'
+        )
+    return ScheduleAutoscaler(
+        parse_resize_schedule(resize_schedule), min_machines=min_machines
+    )
+
+
+def _reactive_autoscaler(
+    scale_interval: float = 5.0,
+    scale_up_threshold: float = 0.85,
+    scale_down_threshold: float = 0.30,
+    scale_step: int = 1,
+    min_machines: int = 1,
+    **kwargs,
+):
+    from repro.cluster.elastic import ReactiveAutoscaler
+
+    return ReactiveAutoscaler(
+        interval=scale_interval,
+        upper=scale_up_threshold,
+        lower=scale_down_threshold,
+        step=scale_step,
+        min_machines=min_machines,
+    )
+
+
+AUTOSCALER_POLICIES.register(
+    "none",
+    _no_autoscaler,
+    description="fixed capacity (the default; the elastic path stays idle)",
+)
+AUTOSCALER_POLICIES.register(
+    "schedule",
+    _schedule_autoscaler,
+    description=(
+        "fixed timed resizes from the resize_schedule knob "
+        '("time:delta,..." — deterministic)'
+    ),
+)
+AUTOSCALER_POLICIES.register(
+    "reactive",
+    _reactive_autoscaler,
+    description=(
+        "utilization-threshold scaler sampled every scale_interval: "
+        "grow scale_step machines above the upper threshold, shrink "
+        "below the lower"
+    ),
+)
+
+
 BLACKLIST_POLICIES.register(
     "none",
     _no_blacklist_policy,
@@ -1078,6 +1158,65 @@ def _blacklist_knobs() -> Tuple[Knob, ...]:
     )
 
 
+def _autoscaler_knobs() -> Tuple[Knob, ...]:
+    """Elastic-cluster knobs shared by every simulator-backed kind."""
+    return (
+        Knob(
+            "autoscaler",
+            type=str,
+            default="none",
+            description=(
+                "elastic-cluster autoscaler (see AUTOSCALER_POLICIES)"
+            ),
+            choices=AUTOSCALER_POLICIES.names,
+        ),
+        Knob(
+            "resize_schedule",
+            type=str,
+            default=None,
+            description=(
+                'timed resizes for autoscaler="schedule" '
+                '("time:delta,..." — e.g. "30:+8,90:-8")'
+            ),
+        ),
+        Knob(
+            "scale_interval",
+            type=float,
+            default=5.0,
+            description="reactive-autoscaler sampling cadence (virtual s)",
+            validator=lambda v: v > 0.0,
+        ),
+        Knob(
+            "scale_up_threshold",
+            type=float,
+            default=0.85,
+            description="grow when sampled utilization exceeds this",
+            validator=lambda v: 0.0 < v <= 1.0,
+        ),
+        Knob(
+            "scale_down_threshold",
+            type=float,
+            default=0.30,
+            description="shrink when sampled utilization falls below this",
+            validator=lambda v: 0.0 <= v < 1.0,
+        ),
+        Knob(
+            "scale_step",
+            type=int,
+            default=1,
+            description="machines added/removed per reactive decision",
+            validator=lambda v: v >= 1,
+        ),
+        Knob(
+            "min_machines",
+            type=int,
+            default=1,
+            description="shrinks never go below this many live machines",
+            validator=lambda v: v >= 1,
+        ),
+    )
+
+
 _CENTRALIZED_KNOBS = (
     Knob(
         "epsilon",
@@ -1115,6 +1254,7 @@ _CENTRALIZED_KNOBS = (
     ),
     _straggler_model_knob(),
     *_blacklist_knobs(),
+    *_autoscaler_knobs(),
 )
 
 _DECENTRALIZED_KNOBS = (
@@ -1165,6 +1305,7 @@ _DECENTRALIZED_KNOBS = (
     ),
     _straggler_model_knob(),
     *_blacklist_knobs(),
+    *_autoscaler_knobs(),
 )
 
 _BATCH_KNOBS = (
@@ -1232,6 +1373,7 @@ _SERVING_KNOBS = (
         validator=lambda v: v == 0.0 or v > 1.0,
     ),
     _straggler_model_knob(),
+    *_autoscaler_knobs(),
 )
 
 _SINGLE_JOB_KNOBS = (
@@ -1347,10 +1489,12 @@ __all__ = [
     "SPECULATION_POLICIES",
     "STRAGGLER_MODELS",
     "BLACKLIST_POLICIES",
+    "AUTOSCALER_POLICIES",
     "WORKLOAD_PROFILES",
     "STUDIES",
     "spec_kind",
     "studies",
     "make_straggler_model",
     "make_blacklist_policy",
+    "make_autoscaler",
 ]

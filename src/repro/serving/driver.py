@@ -129,14 +129,19 @@ class OpenLoopDriver:
 
 
 class _PlaneProbe:
-    """Uniform view of a plane's queue depth and slot occupancy."""
+    """Uniform view of a plane's queue depth and slot occupancy.
+
+    ``total_slots`` is a callable: capacity is *live* state — blacklist
+    eviction and autoscaler resizes change it mid-run, and a snapshot
+    taken at build time would keep counting dead workers' slots.
+    """
 
     def __init__(
         self,
         inject: Callable[[Job], None],
         pending_tasks: Callable[[], int],
         busy_slots: Callable[[], int],
-        total_slots: int,
+        total_slots: Callable[[], int],
     ) -> None:
         self.inject = inject
         self.pending_tasks = pending_tasks
@@ -153,7 +158,7 @@ def _centralized_probe(simulator) -> _PlaneProbe:
         busy_slots=lambda: (
             simulator.cluster.total_slots - simulator.cluster.free_slots
         ),
-        total_slots=simulator.cluster.total_slots,
+        total_slots=lambda: simulator.cluster.total_slots,
     )
 
 
@@ -168,7 +173,10 @@ def _decentralized_probe(simulator) -> _PlaneProbe:
         busy_slots=lambda: sum(
             worker.busy_slots for worker in simulator.workers
         ),
-        total_slots=sum(worker.num_slots for worker in simulator.workers),
+        # simulator.total_slots is maintained as *live* capacity (it
+        # shrinks on eviction/retirement and grows on autoscale-add) —
+        # unlike summing worker.num_slots, which counts dead workers.
+        total_slots=lambda: simulator.total_slots,
     )
 
 
@@ -195,7 +203,7 @@ def _schedule_samples(
 
     def sample() -> None:
         aggregator.sample(
-            probe.pending_tasks(), probe.busy_slots(), probe.total_slots
+            probe.pending_tasks(), probe.busy_slots(), probe.total_slots()
         )
         next_time = engine.now + interval
         if next_time < regime.horizon:
@@ -216,14 +224,17 @@ def run_serving(
     run_seed: int = 7,
     lookahead: int = DEFAULT_LOOKAHEAD,
     obs=_OBS_FROM_ENV,
+    **plane_knobs,
 ) -> SimulationResult:
     """One open-loop serving run on either plane.
 
     ``spec.utilization`` is the target rho; ``spec.num_jobs`` is the
     injection safety cap (not a target — the stream is horizon-bounded).
     ``heavy_tail`` of 0 disables the size modifier; values above 1 are
-    the Pareto shape of the whole-job multiplier. The result carries the
-    windowed steady-state section in ``result.serving``.
+    the Pareto shape of the whole-job multiplier. Extra keyword knobs
+    (autoscaler family, probe ratio, ...) pass through to the plane
+    builder. The result carries the windowed steady-state section in
+    ``result.serving``.
     """
     if plane not in _PLANE_PROBES:
         raise ValueError(f"unknown serving plane {plane!r}")
@@ -268,6 +279,7 @@ def run_serving(
         straggler_model=straggler_model,
         run_seed=run_seed,
         obs=obs,
+        **plane_knobs,
     )
     probe = _PLANE_PROBES[plane](simulator)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.metrics.analysis import percentile
 
@@ -105,7 +105,10 @@ class WindowedAggregator:
         self.dropped_warmup = 0
         self.dropped_cooldown = 0
         self._depth_samples: List[float] = []
-        self._util_samples: List[float] = []
+        # Raw (busy, total) pairs — the ratio is formed at finalize time
+        # so a mid-run capacity change can weight by the capacity that
+        # was actually live at each sample (see finalize).
+        self._util_samples: List[Tuple[int, int]] = []
 
     # -- hooks ---------------------------------------------------------------
 
@@ -136,9 +139,32 @@ class WindowedAggregator:
     ) -> None:
         """One time-average sample (driver calls on a fixed cadence)."""
         self._depth_samples.append(float(pending_tasks))
-        self._util_samples.append(
-            busy_slots / total_slots if total_slots else 0.0
-        )
+        self._util_samples.append((busy_slots, total_slots))
+
+    def _mean_utilization(self) -> Optional[float]:
+        """Time-averaged utilization over the sampled capacity.
+
+        With constant capacity this is the historical mean-of-ratios —
+        the same per-sample divisions summed in the same order, so runs
+        without resizes stay digest-identical. When capacity moved
+        mid-run (eviction, autoscaler resize) the samples are weighted
+        by the capacity live at each one, ``sum(busy)/sum(total)``: a
+        mean of per-sample ratios over a shrinking denominator could
+        otherwise exceed 1.0.
+        """
+        samples = self._util_samples
+        if not samples:
+            return None
+        first_total = samples[0][1]
+        if all(total == first_total for _, total in samples):
+            ratios = [
+                busy / total if total else 0.0 for busy, total in samples
+            ]
+            return sum(ratios) / len(ratios)
+        slot_seconds = sum(total for _, total in samples)
+        if not slot_seconds:
+            return 0.0
+        return sum(busy for busy, _ in samples) / slot_seconds
 
     # -- reporting -----------------------------------------------------------
 
@@ -167,11 +193,7 @@ class WindowedAggregator:
             if self._depth_samples
             else None
         )
-        overall["mean_utilization"] = (
-            sum(self._util_samples) / len(self._util_samples)
-            if self._util_samples
-            else None
-        )
+        overall["mean_utilization"] = self._mean_utilization()
         overall["samples"] = len(self._depth_samples)
         return {
             "regime": {

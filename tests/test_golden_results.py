@@ -77,6 +77,13 @@ GOLDEN_STUDY_DIGESTS = {
     "batch_rounds": (
         "a01c91fd15f9b2e5ae3e7583ea36f5336ec93a18892aee2aefd0b95a658d6332"
     ),
+    # Born in PR 10 (elastic clusters): pinned at its first output. The
+    # study crosses mid-run resize amplitude against all three planes,
+    # so this digest freezes the resize event ordering, the kill/requeue
+    # path on removal, and the membership-delta bookkeeping on growth.
+    "elastic": (
+        "1f6f0d05632c7b1c84e6c61c9471cdbf5e8c2e357dfb18e7d1f3eb3ad49f527a"
+    ),
 }
 
 
@@ -156,6 +163,9 @@ GOLDEN_CENTRALIZED_CELL_SPEC_DIGESTS = {
     "blacklist_policy": (
         "7df91627788687e8039f47c8af67580a358115097aaf1f315745bd91be942495"
     ),
+    "elastic": (
+        "7fbbe121963264765506936bb1b7f9a1a83a1084918c3771d17207fa17d4b26a"
+    ),
     "fig12": "450224f405c8d86ac81a06d1f366f395e11885ab58bfa7908669ba7f52971d27",
     "fig13": "45153b1fe23ce85bcf404a63343ee9d4a4fd1c44ab8dc1a322f82893d759f4e2",
     "fig5": "397af2530efd1bb7e3e1e78267bb8cff72611deae05f7e495f6be7edef719540",
@@ -226,6 +236,39 @@ def test_explicit_none_blacklist_policy_is_byte_identical(kind):
     bare = RunSpec(kind, "hopper", workload)
     with_none = RunSpec(
         kind, "hopper", workload, knobs={"blacklist_policy": "none"}
+    )
+    assert bare.digest() != with_none.digest()  # real knob, real cache key
+    assert _result_payload([bare.execute()]) == _result_payload(
+        [with_none.execute()]
+    )
+
+
+@pytest.mark.parametrize(
+    "kind", ["centralized", "decentralized", "batch", "serving"]
+)
+def test_explicit_none_autoscaler_is_byte_identical(kind):
+    """Differential: autoscaler="none" must not perturb a replay.
+
+    Same contract as the blacklist knob above, on every spec kind that
+    grew the autoscaler family: the knob is a real cache key, but the
+    elastic wiring may not consume entropy, reorder events, or touch
+    the cluster when no autoscaler is active.
+    """
+    workload = WorkloadParams(
+        profile="facebook", num_jobs=12, utilization=0.6,
+        total_slots=60, seed=5,
+    )
+    base_knobs = {}
+    if kind == "serving":
+        # Trim the open-loop time layout so the differential stays fast;
+        # both sides share it, only the autoscaler knob differs.
+        base_knobs = {
+            "warmup": 5.0, "horizon": 30.0, "cooldown": 5.0, "window": 5.0
+        }
+    bare = RunSpec(kind, "hopper", workload, knobs=dict(base_knobs))
+    with_none = RunSpec(
+        kind, "hopper", workload,
+        knobs={**base_knobs, "autoscaler": "none"},
     )
     assert bare.digest() != with_none.digest()  # real knob, real cache key
     assert _result_payload([bare.execute()]) == _result_payload(

@@ -458,3 +458,21 @@ def test_check_regression_fails_when_baseline_rows_go_missing(
     assert rc == 1
     assert "MISSING from current run" in out
     assert "centralized aggregate" in out
+
+
+def test_check_regression_fails_on_corrupt_baseline_rate(tmp_path, capsys):
+    """A zero/negative baseline rate used to be silently skipped, which
+    neutered the gate for that row; it must be a violation instead."""
+    mod = _load_check_regression()
+    baseline = tmp_path / "base.json"
+    current = tmp_path / "cur.json"
+    base_doc = _bench_doc({1000: 100000.0})
+    base_doc["rows"][0]["events_per_sec"] = 0.0
+    baseline.write_text(json.dumps(base_doc))
+    current.write_text(json.dumps(_bench_doc({1000: 90000.0})))
+    rc = mod.main(
+        ["--baseline", str(baseline), "--current", str(current)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "INVALID BASELINE" in out
